@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation (paper §6 future work): software dead-value hints. The
+ * paper observes that PRI enables a binary-compatible way for the
+ * compiler to communicate register deadness: insert a
+ * load-immediate of a narrow value into a dead register, and the
+ * hardware frees the corresponding physical register by inlining
+ * the value into the map.
+ *
+ * Sweep the hint density on wide-value benchmarks (where plain PRI
+ * has little to inline) and show that hints recover register-file
+ * headroom — but only when PRI is present to exploit them.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/core.hh"
+#include "workload/program.hh"
+
+namespace
+{
+
+double
+runHints(const std::string &bench, double hint_frac, bool pri_on,
+         const pri::bench::Budget &budget)
+{
+    using namespace pri;
+    double ipc_sum = 0.0;
+    for (uint64_t seed : bench::kSeeds) {
+        // Profile copy must outlive the program (held by reference).
+        workload::BenchmarkProfile prof =
+            workload::profileByName(bench);
+        prof.deadHintFrac = hint_frac;
+        workload::SyntheticProgram prog(prof, seed);
+        const auto rc = pri_on
+            ? rename::RenameConfig::priRefcountCkptcount(64, 7)
+            : rename::RenameConfig::base(64, 7);
+        StatGroup stats;
+        core::OutOfOrderCore cpu(core::CoreConfig::fourWide(rc),
+                                 prog, stats);
+        cpu.run(budget.warmup);
+        cpu.beginMeasurement();
+        cpu.run(budget.measure);
+        ipc_sum += cpu.ipc();
+    }
+    return ipc_sum / std::size(pri::bench::kSeeds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pri;
+    const auto budget = bench::parseBudget(argc, argv);
+    const double densities[] = {0.0, 0.25, 0.5, 1.0};
+    const std::string benches[] = {"crafty", "eon", "vortex"};
+
+    std::printf("=== Ablation: software dead-value hints x PRI "
+                "(4-wide, 64 PR) ===\n");
+    std::printf("(hint density = probability a basic block ends "
+                "with a dead-register zeroing)\n\n");
+    for (const auto &b : benches) {
+        std::printf("%s\n%10s %12s %12s %14s\n", b.c_str(),
+                    "density", "IPC(noPRI)", "IPC(PRI)",
+                    "PRI speedup");
+        for (double d : densities) {
+            const double off = runHints(b, d, false, budget);
+            const double on = runHints(b, d, true, budget);
+            std::printf("%10.2f %12.3f %12.3f %13.1f%%\n", d, off,
+                        on, 100.0 * (on / off - 1.0));
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: without PRI the hints are pure "
+                "overhead; with PRI, higher densities free dead "
+                "registers earlier and the speedup grows on "
+                "wide-value codes\n");
+    return 0;
+}

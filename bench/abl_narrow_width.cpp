@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: sensitivity of PRI to the narrow-value width (the
+ * map-entry size). The paper fixes 7 bits for the 4-wide model and
+ * 10 bits for the 8-wide model (§4, "a slight increase in the map
+ * table entry size seems reasonable"); this sweep shows what other
+ * widths would have bought, per benchmark class.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/core.hh"
+#include "workload/program.hh"
+
+namespace
+{
+
+double
+runWithNarrowBits(const std::string &bench, unsigned narrow_bits,
+                  const pri::bench::Budget &budget, bool pri_on)
+{
+    using namespace pri;
+    double ipc_sum = 0.0;
+    for (uint64_t seed : bench::kSeeds) {
+        workload::SyntheticProgram prog(
+            workload::profileByName(bench), seed);
+        auto rc = pri_on
+            ? rename::RenameConfig::priRefcountCkptcount(
+                  64, narrow_bits)
+            : rename::RenameConfig::base(64, narrow_bits);
+        StatGroup stats;
+        core::OutOfOrderCore cpu(core::CoreConfig::fourWide(rc),
+                                 prog, stats);
+        cpu.run(budget.warmup);
+        cpu.beginMeasurement();
+        cpu.run(budget.measure);
+        ipc_sum += cpu.ipc();
+    }
+    return ipc_sum / std::size(pri::bench::kSeeds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pri;
+    const auto budget = bench::parseBudget(argc, argv);
+    const unsigned widths[] = {4, 7, 8, 10, 12, 16};
+    const std::string benches[] = {"gzip", "crafty", "mcf", "gcc"};
+
+    std::printf("=== Ablation: PRI speedup vs narrow-value width "
+                "(4-wide, 64 PR) ===\n\n");
+    std::printf("%-10s", "bench");
+    for (unsigned w : widths)
+        std::printf(" %7ub", w);
+    std::printf("\n");
+
+    for (const auto &b : benches) {
+        const double base = runWithNarrowBits(b, 7, budget, false);
+        std::printf("%-10s", b.c_str());
+        for (unsigned w : widths) {
+            const double pri = runWithNarrowBits(b, w, budget, true);
+            std::printf(" %7.3f", pri / base);
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper choice: 7 bits at 4-wide (8-bit map entry "
+                "minus the mode bit)\n");
+    return 0;
+}

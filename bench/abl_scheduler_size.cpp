@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: interaction of PRI with scheduler size (paper §5.2:
+ * "when the issue queue limit is removed, it is clearly seen that
+ * limited physical registers are a major bottleneck"). Sweeps the
+ * scheduler from 16 to 512 entries on the 4-wide machine and shows
+ * Base and PRI IPC plus the PRI speedup at each point.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/core.hh"
+#include "workload/program.hh"
+
+namespace
+{
+
+double
+runSched(const std::string &bench, unsigned sched, bool pri_on,
+         const pri::bench::Budget &budget)
+{
+    using namespace pri;
+    double ipc_sum = 0.0;
+    for (uint64_t seed : bench::kSeeds) {
+        workload::SyntheticProgram prog(
+            workload::profileByName(bench), seed);
+        auto rc = pri_on
+            ? rename::RenameConfig::priRefcountCkptcount(64, 7)
+            : rename::RenameConfig::base(64, 7);
+        auto cfg = core::CoreConfig::fourWide(rc);
+        cfg.schedSize = sched;
+        StatGroup stats;
+        core::OutOfOrderCore cpu(cfg, prog, stats);
+        cpu.run(budget.warmup);
+        cpu.beginMeasurement();
+        cpu.run(budget.measure);
+        ipc_sum += cpu.ipc();
+    }
+    return ipc_sum / std::size(pri::bench::kSeeds);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pri;
+    const auto budget = bench::parseBudget(argc, argv);
+    const unsigned sizes[] = {16, 32, 64, 128, 512};
+    const std::string benches[] = {"gzip", "equake", "gcc"};
+
+    std::printf("=== Ablation: scheduler size vs PRI benefit "
+                "(4-wide, 64 PR) ===\n\n");
+    for (const auto &b : benches) {
+        std::printf("%s\n%8s %10s %10s %10s\n", b.c_str(), "sched",
+                    "IPC(Base)", "IPC(PRI)", "speedup");
+        for (unsigned s : sizes) {
+            const double base = runSched(b, s, false, budget);
+            const double pri = runSched(b, s, true, budget);
+            std::printf("%8u %10.3f %10.3f %9.1f%%\n", s, base, pri,
+                        100.0 * (pri / base - 1.0));
+        }
+        std::printf("\n");
+    }
+    std::printf("paper: the 32-entry scheduler caps 4-wide gains; "
+                "larger schedulers shift the bottleneck to the "
+                "register file, where PRI helps more\n");
+    return 0;
+}

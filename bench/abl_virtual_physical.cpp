@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (paper §6 future work): interaction of PRI with delayed
+ * register allocation (virtual-physical registers, after [7]/[17]).
+ * Under VP, renaming never stalls for a register; physical storage
+ * is claimed at writeback. PRI composes naturally: an inlined value
+ * never claims storage at all. Sweep the storage budget and compare
+ * Base, PRI, VP, VP+PRI, and InfPR.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pri;
+    const auto budget = bench::parseBudget(argc, argv);
+    const unsigned sizes[] = {40, 48, 56, 64, 80};
+    const sim::Scheme panel[] = {
+        sim::Scheme::Base,
+        sim::Scheme::PriRefcountCkptcount,
+        sim::Scheme::VirtualPhysical,
+        sim::Scheme::VirtualPhysicalPlusPri,
+    };
+    const std::string benches[] = {"gzip", "crafty", "gcc",
+                                   "equake"};
+
+    std::printf("=== Ablation: virtual-physical registers x PRI "
+                "(4-wide) ===\n\n");
+    for (const auto &b : benches) {
+        const auto inf = bench::runOne(
+            b, 4, sim::Scheme::InfinitePregs, budget);
+        std::printf("%s  (InfPR IPC %.3f)\n", b.c_str(), inf.ipc);
+        std::printf("%6s %10s %10s %10s %10s\n", "PR", "Base",
+                    "PRI", "VP", "VP+PRI");
+        for (unsigned pr : sizes) {
+            std::printf("%6u", pr);
+            for (auto s : panel) {
+                const auto r = bench::runOne(b, 4, s, budget, pr);
+                std::printf(" %10.3f", r.ipc);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: VP removes rename stalls and nears "
+                "InfPR when storage suffices; at small budgets "
+                "VP alone hits the storage wall at writeback and "
+                "VP+PRI recovers (inlined values never claim "
+                "storage)\n");
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/: common
+ * instruction budgets, table formatting, and geometric means.
+ *
+ * Each bench binary regenerates one table or figure of the paper.
+ * Instruction budgets are chosen so every binary finishes in tens of
+ * seconds; pass --quick to shrink them further, --full to enlarge.
+ */
+
+#ifndef PRI_BENCH_BENCH_UTIL_HH
+#define PRI_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+namespace pri::bench
+{
+
+/** Instruction budgets for one experiment run. */
+struct Budget
+{
+    uint64_t warmup = 20000;
+    uint64_t measure = 80000;
+};
+
+/** Parse --quick / --full from argv. */
+inline Budget
+parseBudget(int argc, char **argv)
+{
+    Budget b;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            b.warmup = 5000;
+            b.measure = 20000;
+        } else if (std::strcmp(argv[i], "--full") == 0) {
+            b.warmup = 50000;
+            b.measure = 250000;
+        }
+    }
+    return b;
+}
+
+/** Program seeds every experiment point is averaged over. The same
+ *  seeds are used for every scheme, so scheme-vs-scheme comparisons
+ *  are paired and generator variance cancels. */
+constexpr uint64_t kSeeds[] = {11, 22, 33};
+
+/** Run one configuration, averaged over kSeeds. */
+inline sim::RunResult
+runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
+       const Budget &budget, unsigned pregs = 64)
+{
+    sim::RunParams p;
+    p.benchmark = bench;
+    p.width = width;
+    p.scheme = scheme;
+    p.physRegs = pregs;
+    p.warmupInsts = budget.warmup;
+    p.measureInsts = budget.measure;
+
+    sim::RunResult acc;
+    unsigned n = 0;
+    for (uint64_t seed : kSeeds) {
+        p.seed = seed;
+        const auto r = sim::simulate(p);
+        if (n == 0) {
+            acc = r;
+        } else {
+            acc.ipc += r.ipc;
+            acc.cycles += r.cycles;
+            acc.insts += r.insts;
+            acc.avgIntOccupancy += r.avgIntOccupancy;
+            acc.avgFpOccupancy += r.avgFpOccupancy;
+            acc.lifeAllocToWrite += r.lifeAllocToWrite;
+            acc.lifeWriteToLastRead += r.lifeWriteToLastRead;
+            acc.lifeLastReadToRelease += r.lifeLastReadToRelease;
+            acc.branchMispredictRate += r.branchMispredictRate;
+            acc.dl1MissRate += r.dl1MissRate;
+            acc.priEarlyFrees += r.priEarlyFrees;
+            acc.erEarlyFrees += r.erEarlyFrees;
+            acc.inlinedFrac += r.inlinedFrac;
+        }
+        ++n;
+    }
+    const double inv = 1.0 / n;
+    acc.ipc *= inv;
+    acc.avgIntOccupancy *= inv;
+    acc.avgFpOccupancy *= inv;
+    acc.lifeAllocToWrite *= inv;
+    acc.lifeWriteToLastRead *= inv;
+    acc.lifeLastReadToRelease *= inv;
+    acc.branchMispredictRate *= inv;
+    acc.dl1MissRate *= inv;
+    acc.priEarlyFrees *= inv;
+    acc.erEarlyFrees *= inv;
+    acc.inlinedFrac *= inv;
+    return acc;
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+/** Names of the SPECint-like workloads, in paper order. */
+inline std::vector<std::string>
+intBenchmarks()
+{
+    std::vector<std::string> v;
+    for (const auto &p : workload::specIntProfiles())
+        v.push_back(p.name);
+    return v;
+}
+
+/** Names of the SPECfp-like workloads, in paper order. */
+inline std::vector<std::string>
+fpBenchmarks()
+{
+    std::vector<std::string> v;
+    for (const auto &p : workload::specFpProfiles())
+        v.push_back(p.name);
+    return v;
+}
+
+} // namespace pri::bench
+
+#endif // PRI_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1 reproduction: average physical register lifetime for the
+ * SPEC2000-integer-like workloads on the base 4-wide and 8-wide
+ * machines (64 physical registers), broken into the three phases —
+ * allocate->write, write->last read, last read->release. The paper's
+ * point: phase 3 dominates, which is the opportunity PRI attacks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+void
+runWidth(unsigned width, const pri::bench::Budget &budget)
+{
+    using namespace pri;
+    std::printf("width %u\n", width);
+    std::printf("%-10s %12s %14s %16s %8s\n", "bench",
+                "alloc->write", "write->lastread",
+                "lastread->release", "total");
+    std::vector<double> p1s, p2s, p3s;
+    for (const auto &name : bench::intBenchmarks()) {
+        const auto r =
+            bench::runOne(name, width, sim::Scheme::Base, budget);
+        const double total = r.lifeAllocToWrite +
+            r.lifeWriteToLastRead + r.lifeLastReadToRelease;
+        std::printf("%-10s %12.1f %14.1f %16.1f %8.1f\n",
+                    name.c_str(), r.lifeAllocToWrite,
+                    r.lifeWriteToLastRead, r.lifeLastReadToRelease,
+                    total);
+        p1s.push_back(r.lifeAllocToWrite);
+        p2s.push_back(r.lifeWriteToLastRead);
+        p3s.push_back(r.lifeLastReadToRelease);
+    }
+    const double m1 = bench::mean(p1s);
+    const double m2 = bench::mean(p2s);
+    const double m3 = bench::mean(p3s);
+    std::printf("%-10s %12.1f %14.1f %16.1f %8.1f\n", "mean", m1,
+                m2, m3, m1 + m2 + m3);
+    std::printf("phase3 share of lifetime: %.0f%%  (paper: "
+                "\"average register lifetime is dominated by "
+                "phase 3\")\n\n",
+                100.0 * m3 / (m1 + m2 + m3));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto budget = pri::bench::parseBudget(argc, argv);
+    std::printf("=== Figure 1: average register lifetime, base "
+                "machine, 64 PR ===\n\n");
+    runWidth(4, budget);
+    runWidth(8, budget);
+    return 0;
+}

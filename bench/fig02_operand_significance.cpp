@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 2 reproduction: dynamic cumulative distribution of operand
+ * significance. Top: bits needed to represent integer results for
+ * the SPECint-like workloads. Bottom: fraction of FP operands whose
+ * exponent/significand fields are all-zeroes-or-ones, and the
+ * all-zero fraction that the paper's FP inlining rule exploits.
+ *
+ * This is a pure workload study (functional walk, no timing).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/bitutils.hh"
+#include "workload/walker.hh"
+
+namespace
+{
+
+constexpr uint64_t kInsts = 300000;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pri;
+    (void)argc;
+    (void)argv;
+
+    std::printf("=== Figure 2: operand significance ===\n\n");
+    std::printf("-- integer results: cumulative %% representable in "
+                "<= N bits --\n");
+    std::printf("%-10s", "bench");
+    const unsigned cols[] = {1, 4, 7, 8, 10, 12, 16, 24, 32, 48, 64};
+    for (unsigned c : cols)
+        std::printf(" %5u", c);
+    std::printf("\n");
+
+    for (const auto &prof : workload::specIntProfiles()) {
+        workload::SyntheticProgram prog(prof, 42);
+        workload::Walker w(prog);
+        StatDistribution dist(65);
+        for (uint64_t i = 0; i < kInsts; ++i) {
+            auto wi = w.next();
+            if (wi.isBranch())
+                w.steer(wi, wi.taken, wi.actualTarget);
+            if (wi.hasDst() && wi.dst.cls == isa::RegClass::Int)
+                dist.sample(significantBits(wi.resultValue));
+        }
+        std::printf("%-10s", prof.name.c_str());
+        for (unsigned c : cols)
+            std::printf(" %5.1f", 100.0 * dist.cdfAt(c));
+        std::printf("\n");
+    }
+
+    std::printf("\n-- floating point operands --\n");
+    std::printf("%-10s %10s %12s %12s\n", "bench", "zero%",
+                "expTrivial%", "sigTrivial%");
+    double zsum = 0, esum = 0, ssum = 0;
+    unsigned n = 0;
+    for (const auto &prof : workload::specFpProfiles()) {
+        workload::SyntheticProgram prog(prof, 42);
+        workload::Walker w(prog);
+        uint64_t fp = 0, zero = 0, etriv = 0, striv = 0;
+        for (uint64_t i = 0; i < kInsts; ++i) {
+            auto wi = w.next();
+            if (wi.isBranch())
+                w.steer(wi, wi.taken, wi.actualTarget);
+            if (wi.hasDst() && wi.dst.cls == isa::RegClass::Fp) {
+                ++fp;
+                zero += fpValueTrivial(wi.resultValue);
+                etriv += fpExponentTrivial(wi.resultValue);
+                striv += fpSignificandTrivial(wi.resultValue);
+            }
+        }
+        const double fz = 100.0 * zero / fp;
+        const double fe = 100.0 * etriv / fp;
+        const double fs = 100.0 * striv / fp;
+        std::printf("%-10s %10.1f %12.1f %12.1f\n",
+                    prof.name.c_str(), fz, fe, fs);
+        zsum += fz;
+        esum += fe;
+        ssum += fs;
+        ++n;
+    }
+    std::printf("%-10s %10.1f %12.1f %12.1f\n", "mean", zsum / n,
+                esum / n, ssum / n);
+    std::printf("\npaper: ~50%% of FP operands contain only zeroes; "
+                "~77%% trivial exponents; ~54%% trivial "
+                "significands\n");
+    return 0;
+}

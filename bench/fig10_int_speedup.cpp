@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10 reproduction: PRI speedup for the SPEC2000-integer-like
+ * workloads, 4-wide and 8-wide, across the full scheme panel:
+ * ER, PRI-refcount+ckptcount, PRI-refcount+lazy,
+ * PRI-ideal+ckptcount, PRI-ideal+lazy, PRI+ER, and InfPR —
+ * all as IPC speedup over the Base machine at 64+64 registers.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+const pri::sim::Scheme kPanel[] = {
+    pri::sim::Scheme::EarlyRelease,
+    pri::sim::Scheme::PriRefcountCkptcount,
+    pri::sim::Scheme::PriRefcountLazy,
+    pri::sim::Scheme::PriIdealCkptcount,
+    pri::sim::Scheme::PriIdealLazy,
+    pri::sim::Scheme::PriPlusEr,
+    pri::sim::Scheme::InfinitePregs,
+};
+
+void
+runPanel(unsigned width, const std::vector<std::string> &benches,
+         const pri::bench::Budget &budget)
+{
+    using namespace pri;
+    std::printf("width %u  (IPC speedup over Base)\n", width);
+    std::printf("%-10s", "bench");
+    for (auto s : kPanel)
+        std::printf(" %22s", sim::schemeName(s));
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(std::size(kPanel));
+    for (const auto &name : benches) {
+        const auto base =
+            bench::runOne(name, width, sim::Scheme::Base, budget);
+        std::printf("%-10s", name.c_str());
+        for (size_t i = 0; i < std::size(kPanel); ++i) {
+            const auto r =
+                bench::runOne(name, width, kPanel[i], budget);
+            const double sp = r.ipc / base.ipc;
+            cols[i].push_back(sp);
+            std::printf(" %22.3f", sp);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-10s", "geomean");
+    for (size_t i = 0; i < std::size(kPanel); ++i)
+        std::printf(" %22.3f", bench::geomean(cols[i]));
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto budget = pri::bench::parseBudget(argc, argv);
+    std::printf("=== Figure 10: PRI speedup, integer benchmarks "
+                "===\n(paper averages: ER +3.6%%, PRI ref+ckpt "
+                "+7.3%% @4w / +14.8%% @8w, PRI+ER +8.3%%/+17.5%%, "
+                "InfPR +11%%/+39%%)\n\n");
+    runPanel(4, pri::bench::intBenchmarks(), budget);
+    runPanel(8, pri::bench::intBenchmarks(), budget);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 12 reproduction: PRI speedup for the SPEC2000-fp-like
+ * workloads (same scheme panel as Figure 10). The paper's FP
+ * inlining rule only captures values that are entirely zeroes or
+ * ones, which roughly half of all FP operands satisfy.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+const pri::sim::Scheme kPanel[] = {
+    pri::sim::Scheme::EarlyRelease,
+    pri::sim::Scheme::PriRefcountCkptcount,
+    pri::sim::Scheme::PriRefcountLazy,
+    pri::sim::Scheme::PriIdealCkptcount,
+    pri::sim::Scheme::PriIdealLazy,
+    pri::sim::Scheme::PriPlusEr,
+    pri::sim::Scheme::InfinitePregs,
+};
+
+void
+runPanel(unsigned width, const pri::bench::Budget &budget)
+{
+    using namespace pri;
+    std::printf("width %u  (IPC speedup over Base)\n", width);
+    std::printf("%-10s", "bench");
+    for (auto s : kPanel)
+        std::printf(" %22s", sim::schemeName(s));
+    std::printf("\n");
+
+    std::vector<std::vector<double>> cols(std::size(kPanel));
+    for (const auto &name : bench::fpBenchmarks()) {
+        const auto base =
+            bench::runOne(name, width, sim::Scheme::Base, budget);
+        std::printf("%-10s", name.c_str());
+        for (size_t i = 0; i < std::size(kPanel); ++i) {
+            const auto r =
+                bench::runOne(name, width, kPanel[i], budget);
+            const double sp = r.ipc / base.ipc;
+            cols[i].push_back(sp);
+            std::printf(" %22.3f", sp);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-10s", "geomean");
+    for (size_t i = 0; i < std::size(kPanel); ++i)
+        std::printf(" %22.3f", bench::geomean(cols[i]));
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto budget = pri::bench::parseBudget(argc, argv);
+    std::printf("=== Figure 12: PRI speedup, floating point "
+                "benchmarks ===\n(paper averages: PRI ref+ckpt "
+                "+12.0%% @4w / +25.2%% @8w, PRI+ER "
+                "+14.3%%/+35.3%%)\n\n");
+    runPanel(4, budget);
+    runPanel(8, budget);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot
+ * components: significance checks, the map table, the free list,
+ * cache lookups, branch prediction, workload generation, and
+ * end-to-end simulation throughput. These guard the simulator's own
+ * performance (sim-speed regressions make the experiment harnesses
+ * painful), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "common/bitutils.hh"
+#include "core/core.hh"
+#include "memory/cache.hh"
+#include "rename/free_list.hh"
+#include "rename/map_table.hh"
+#include "workload/walker.hh"
+
+namespace
+{
+
+using namespace pri;
+
+void
+BM_SignificanceCheck(benchmark::State &state)
+{
+    uint64_t v = 0x12345;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fitsInSignedBits(v, 7));
+        v = v * 6364136223846793005ULL + 1;
+    }
+}
+BENCHMARK(BM_SignificanceCheck);
+
+void
+BM_MapTableReadWrite(benchmark::State &state)
+{
+    rename::RamMapTable map;
+    unsigned i = 0;
+    for (auto _ : state) {
+        map.write(i & 31, rename::MapEntry::makePreg(
+                              static_cast<isa::PhysRegId>(i & 63)));
+        benchmark::DoNotOptimize(map.read((i + 7) & 31));
+        ++i;
+    }
+}
+BENCHMARK(BM_MapTableReadWrite);
+
+void
+BM_MapTableCheckpoint(benchmark::State &state)
+{
+    rename::RamMapTable map;
+    for (auto _ : state) {
+        auto snap = map.copy();
+        benchmark::DoNotOptimize(snap);
+    }
+}
+BENCHMARK(BM_MapTableCheckpoint);
+
+void
+BM_FreeListAllocFree(benchmark::State &state)
+{
+    rename::FreeList fl(64, 32);
+    for (auto _ : state) {
+        const auto p = fl.allocate();
+        fl.free(p);
+    }
+}
+BENCHMARK(BM_FreeListAllocFree);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::Cache dl1(memory::CacheParams{"dl1", 32768, 4, 16, 2});
+    uint64_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dl1.access(a & 0xffff));
+        a += 48;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    branch::CombinedPredictor p;
+    uint64_t pc = 0x1000;
+    for (auto _ : state) {
+        auto tok = p.predict(pc);
+        p.update(pc, tok.predTaken, tok);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_WalkerGenerate(benchmark::State &state)
+{
+    workload::SyntheticProgram prog(
+        workload::profileByName("gzip"), 1);
+    workload::Walker w(prog);
+    for (auto _ : state) {
+        auto wi = w.next();
+        if (wi.isBranch())
+            w.steer(wi, wi.taken, wi.actualTarget);
+        benchmark::DoNotOptimize(wi);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalkerGenerate);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    // Whole-core simulation throughput in committed instructions/s.
+    workload::SyntheticProgram prog(
+        workload::profileByName("gzip"), 1);
+    const auto cfg = core::CoreConfig::fourWide(
+        rename::RenameConfig::priRefcountCkptcount(64, 7));
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, prog, stats);
+    for (auto _ : state)
+        cpu.run(1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+#include "predictor.hh"
+
+#include "common/logging.hh"
+
+namespace pri::branch
+{
+
+CombinedPredictor::CombinedPredictor()
+    : bimodal(1u << kTableBits, 1),
+      gshare(1u << kTableBits, 1),
+      selector(1u << kTableBits, 1)
+{
+}
+
+unsigned
+CombinedPredictor::bimodalIndex(uint64_t pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & ((1u << kTableBits) - 1));
+}
+
+unsigned
+CombinedPredictor::gshareIndex(uint64_t pc, uint64_t hist) const
+{
+    const uint64_t h = hist & ((uint64_t{1} << kHistBits) - 1);
+    return static_cast<unsigned>(((pc >> 2) ^ h) &
+                                 ((1u << kTableBits) - 1));
+}
+
+PredictToken
+CombinedPredictor::predict(uint64_t pc)
+{
+    PredictToken tok;
+    tok.histAtPredict = ghist;
+    tok.bimodalTaken = bimodal[bimodalIndex(pc)] >= 2;
+    tok.gshareTaken = gshare[gshareIndex(pc, ghist)] >= 2;
+    const bool use_gshare = selector[bimodalIndex(pc)] >= 2;
+    tok.predTaken = use_gshare ? tok.gshareTaken : tok.bimodalTaken;
+    // Speculative history update with the predicted outcome.
+    ghist = (ghist << 1) | (tok.predTaken ? 1 : 0);
+    return tok;
+}
+
+void
+CombinedPredictor::update(uint64_t pc, bool taken,
+                          const PredictToken &token)
+{
+    auto &bi = bimodal[bimodalIndex(pc)];
+    auto &gs = gshare[gshareIndex(pc, token.histAtPredict)];
+    auto &sel = selector[bimodalIndex(pc)];
+
+    // Selector trains toward the component that was right.
+    const bool bi_right = token.bimodalTaken == taken;
+    const bool gs_right = token.gshareTaken == taken;
+    if (bi_right != gs_right)
+        sel = counterUpdate(sel, gs_right);
+
+    bi = counterUpdate(bi, taken);
+    gs = counterUpdate(gs, taken);
+}
+
+Btb::Btb() : entries(kEntries)
+{
+}
+
+std::optional<uint64_t>
+Btb::lookup(uint64_t pc) const
+{
+    const unsigned sets = kEntries / kAssoc;
+    const unsigned set =
+        static_cast<unsigned>((pc >> 2) & (sets - 1));
+    const Entry *base = &entries[size_t{set} * kAssoc];
+    for (unsigned w = 0; w < kAssoc; ++w) {
+        if (base[w].valid && base[w].pc == pc)
+            return base[w].target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    const unsigned sets = kEntries / kAssoc;
+    const unsigned set =
+        static_cast<unsigned>((pc >> 2) & (sets - 1));
+    Entry *base = &entries[size_t{set} * kAssoc];
+    ++stamp;
+
+    Entry *victim = base;
+    for (unsigned w = 0; w < kAssoc; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lruStamp = stamp;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid &&
+                   e.lruStamp < victim->lruStamp) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lruStamp = stamp;
+}
+
+void
+Ras::push(uint64_t return_pc)
+{
+    topIdx = (topIdx + 1) % kDepth;
+    stack[topIdx] = return_pc;
+    if (count < kDepth)
+        ++count;
+}
+
+uint64_t
+Ras::pop()
+{
+    if (count == 0)
+        return 0;
+    const uint64_t t = stack[topIdx];
+    topIdx = (topIdx + kDepth - 1) % kDepth;
+    --count;
+    return t;
+}
+
+uint64_t
+Ras::top() const
+{
+    return count == 0 ? 0 : stack[topIdx];
+}
+
+void
+Ras::snapshot(PredictorSnapshot &snap) const
+{
+    snap.ras = stack;
+    snap.rasTop = topIdx;
+    snap.rasCount = count;
+}
+
+void
+Ras::restore(const PredictorSnapshot &snap)
+{
+    stack = snap.ras;
+    topIdx = snap.rasTop;
+    count = snap.rasCount;
+}
+
+} // namespace pri::branch

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Branch direction prediction: a combined predictor (paper Table 1)
+ * made of a 4k-entry bimodal table, a 4k-entry gshare table, and a
+ * 4k-entry selector, plus a 1k-entry 4-way BTB and a 16-entry return
+ * address stack.
+ *
+ * Tables are updated at commit (correct path only). The global
+ * history register is updated speculatively at predict time and
+ * repaired from a snapshot on misprediction recovery; the RAS is
+ * likewise snapshotted per branch and restored on squash.
+ */
+
+#ifndef PRI_BRANCH_PREDICTOR_HH
+#define PRI_BRANCH_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace pri::branch
+{
+
+/** Saturating 2-bit counter helpers. */
+constexpr uint8_t
+counterUpdate(uint8_t ctr, bool up)
+{
+    if (up)
+        return ctr == 3 ? 3 : ctr + 1;
+    return ctr == 0 ? 0 : ctr - 1;
+}
+
+/** Everything needed to update the tables at commit time. */
+struct PredictToken
+{
+    bool bimodalTaken = false;
+    bool gshareTaken = false;
+    bool predTaken = false;
+    uint64_t histAtPredict = 0; ///< history used for gshare index
+};
+
+/** Restorable front-end prediction state, snapshotted per branch. */
+struct PredictorSnapshot
+{
+    uint64_t history = 0;
+    std::array<uint64_t, 16> ras{};
+    uint8_t rasTop = 0;
+    uint8_t rasCount = 0;
+};
+
+/**
+ * Combined bimodal/gshare predictor with selector.
+ * All three tables have 4k 2-bit entries.
+ */
+class CombinedPredictor
+{
+  public:
+    static constexpr unsigned kTableBits = 12; // 4k entries
+    static constexpr unsigned kHistBits = 8;
+
+    CombinedPredictor();
+
+    /**
+     * Predict a conditional branch at @p pc and speculatively shift
+     * the predicted outcome into the history register.
+     */
+    PredictToken predict(uint64_t pc);
+
+    /**
+     * Commit-time table update with the actual outcome.
+     * @p token must be the one produced at predict time.
+     */
+    void update(uint64_t pc, bool taken, const PredictToken &token);
+
+    uint64_t history() const { return ghist; }
+    void setHistory(uint64_t h) { ghist = h; }
+
+  private:
+    unsigned bimodalIndex(uint64_t pc) const;
+    unsigned gshareIndex(uint64_t pc, uint64_t hist) const;
+
+    std::vector<uint8_t> bimodal;
+    std::vector<uint8_t> gshare;
+    std::vector<uint8_t> selector; ///< >=2 selects gshare
+    uint64_t ghist = 0;
+};
+
+/** 4-way set-associative branch target buffer (1k entries total). */
+class Btb
+{
+  public:
+    static constexpr unsigned kEntries = 1024;
+    static constexpr unsigned kAssoc = 4;
+
+    Btb();
+
+    /** Target for @p pc if present. */
+    std::optional<uint64_t> lookup(uint64_t pc) const;
+
+    /** Install/update the target for a taken branch. */
+    void update(uint64_t pc, uint64_t target);
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries;
+    uint64_t stamp = 0;
+};
+
+/** 16-entry circular return address stack. */
+class Ras
+{
+  public:
+    static constexpr unsigned kDepth = 16;
+
+    void push(uint64_t return_pc);
+    /** Pop the predicted return target (0 when empty). */
+    uint64_t pop();
+    uint64_t top() const;
+    bool empty() const { return count == 0; }
+
+    /** Snapshot / restore for misprediction recovery. */
+    void snapshot(PredictorSnapshot &snap) const;
+    void restore(const PredictorSnapshot &snap);
+
+  private:
+    std::array<uint64_t, kDepth> stack{};
+    uint8_t topIdx = 0;
+    uint8_t count = 0;
+};
+
+} // namespace pri::branch
+
+#endif // PRI_BRANCH_PREDICTOR_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the simulator, most
+ * importantly the operand-significance checks that decide whether a
+ * value qualifies for physical register inlining (paper §3.1: "all n
+ * high-order bits of a computed result are either 1 or 0").
+ */
+
+#ifndef PRI_COMMON_BITUTILS_HH
+#define PRI_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace pri
+{
+
+/** Sign-extend the low @p bits bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return static_cast<int64_t>(value);
+    const uint64_t mask = (uint64_t{1} << bits) - 1;
+    const uint64_t sign = uint64_t{1} << (bits - 1);
+    const uint64_t low = value & mask;
+    return static_cast<int64_t>((low ^ sign) - sign);
+}
+
+/**
+ * True if @p value is representable as a @p bits -bit two's-complement
+ * integer, i.e. all high-order bits above position bits-1 are copies
+ * of the sign bit. This is the significance check that gates inlining
+ * of integer operands into the map table.
+ */
+constexpr bool
+fitsInSignedBits(uint64_t value, unsigned bits)
+{
+    if (bits == 0)
+        return false;
+    if (bits >= 64)
+        return true;
+    return static_cast<uint64_t>(
+        signExtend(value, bits)) == value;
+}
+
+/**
+ * Minimum number of two's-complement bits needed to represent
+ * @p value (1..64). Used by the Figure 2 operand-significance study.
+ */
+constexpr unsigned
+significantBits(uint64_t value)
+{
+    const auto s = static_cast<int64_t>(value);
+    // Number of redundant leading sign bits.
+    const uint64_t x = (s < 0) ? ~value : value;
+    const unsigned lead = x == 0 ? 64 : std::countl_zero(x);
+    const unsigned bits = 64 - lead + 1;
+    return bits > 64 ? 64 : bits;
+}
+
+/** Fields of an IEEE-754 double, as the FP significance study uses. */
+struct FpFields
+{
+    uint64_t sign;        ///< 1 bit
+    uint64_t exponent;    ///< 11 bits
+    uint64_t significand; ///< 52 bits
+};
+
+/** Decompose the raw bits of a double into sign/exponent/significand. */
+constexpr FpFields
+fpFields(uint64_t raw)
+{
+    return FpFields{
+        .sign = raw >> 63,
+        .exponent = (raw >> 52) & 0x7ff,
+        .significand = raw & ((uint64_t{1} << 52) - 1),
+    };
+}
+
+/** True if the 11-bit exponent field is all zeroes or all ones. */
+constexpr bool
+fpExponentTrivial(uint64_t raw)
+{
+    const uint64_t e = fpFields(raw).exponent;
+    return e == 0 || e == 0x7ff;
+}
+
+/** True if the 52-bit significand field is all zeroes or all ones. */
+constexpr bool
+fpSignificandTrivial(uint64_t raw)
+{
+    const uint64_t s = fpFields(raw).significand;
+    return s == 0 || s == ((uint64_t{1} << 52) - 1);
+}
+
+/**
+ * The paper inlines FP registers only when the *entire* value is all
+ * zeroes or all ones (Table 1: "all values that are all zeroes or
+ * ones are stored in the map table").
+ */
+constexpr bool
+fpValueTrivial(uint64_t raw)
+{
+    return raw == 0 || raw == ~uint64_t{0};
+}
+
+/** Round @p v up to the next power of two (v must be >= 1). */
+constexpr uint64_t
+nextPow2(uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(uint64_t v)
+{
+    return std::countr_zero(v);
+}
+
+/** True when @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace pri
+
+#endif // PRI_COMMON_BITUTILS_HH

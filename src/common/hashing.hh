@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Counter-based deterministic pseudo-randomness.
+ *
+ * All workload randomness in this reproduction is a pure function of
+ * (seed, static-entity id, dynamic index). This makes the committed
+ * instruction stream bit-identical across machine configurations and
+ * register-management schemes regardless of timing, squashes, or
+ * wrong-path depth — so scheme-vs-scheme comparisons carry no
+ * generator noise (DESIGN.md §5).
+ */
+
+#ifndef PRI_COMMON_HASHING_HH
+#define PRI_COMMON_HASHING_HH
+
+#include <cstdint>
+
+namespace pri
+{
+
+/** The SplitMix64 finalizer: a high-quality 64-bit mixing function. */
+constexpr uint64_t
+splitMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine up to three keys into one well-mixed 64-bit hash. */
+constexpr uint64_t
+hashCombine(uint64_t a, uint64_t b, uint64_t c = 0)
+{
+    return splitMix64(splitMix64(splitMix64(a) ^ b) ^ c);
+}
+
+/**
+ * Stateless uniform double in [0, 1) derived from three keys.
+ * Uses the top 53 bits of the hash.
+ */
+constexpr double
+hashUniform(uint64_t a, uint64_t b, uint64_t c = 0)
+{
+    return static_cast<double>(hashCombine(a, b, c) >> 11) *
+        0x1.0p-53;
+}
+
+/** Stateless uniform integer in [0, bound) derived from three keys. */
+constexpr uint64_t
+hashRange(uint64_t bound, uint64_t a, uint64_t b, uint64_t c = 0)
+{
+    return bound == 0 ? 0 : hashCombine(a, b, c) % bound;
+}
+
+/**
+ * Small stateful generator for one-time structure generation (static
+ * program construction), where statefulness is harmless because the
+ * structure is built exactly once per run.
+ */
+class SplitMixRng
+{
+  public:
+    explicit SplitMixRng(uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ULL;
+        return splitMix64(state);
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+    /** Uniform integer in [0, bound). */
+    uint64_t
+    nextRange(uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace pri
+
+#endif // PRI_COMMON_HASHING_HH

@@ -1,0 +1,55 @@
+#include "logging.hh"
+
+namespace pri
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, std::string_view msg,
+           const std::source_location &loc)
+{
+    if (level == LogLevel::Inform || level == LogLevel::Warn) {
+        std::fprintf(stderr, "%s: %.*s\n", levelName(level),
+                     static_cast<int>(msg.size()), msg.data());
+    } else {
+        std::fprintf(stderr, "%s: %.*s (%s:%u)\n", levelName(level),
+                     static_cast<int>(msg.size()), msg.data(),
+                     loc.file_name(), loc.line());
+    }
+    std::fflush(stderr);
+}
+
+void
+panicStr(const std::string &msg, const std::source_location &loc)
+{
+    logMessage(LogLevel::Panic, msg, loc);
+    std::abort();
+}
+
+void
+fatalStr(const std::string &msg, const std::source_location &loc)
+{
+    logMessage(LogLevel::Fatal, msg, loc);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace pri

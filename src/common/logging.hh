@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for simulator bugs
+ * (conditions that can never legally occur), fatal() is for user
+ * errors (bad configuration), warn()/inform() report status without
+ * stopping the simulation.
+ */
+
+#ifndef PRI_COMMON_LOGGING_HH
+#define PRI_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <string>
+#include <string_view>
+
+#include "common/strfmt.hh"
+
+namespace pri
+{
+
+/** Severity used by the message sinks. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit one formatted diagnostic line to stderr. */
+void logMessage(LogLevel level, std::string_view msg,
+                const std::source_location &loc);
+
+[[noreturn]] void panicStr(const std::string &msg,
+                           const std::source_location &loc);
+[[noreturn]] void fatalStr(const std::string &msg,
+                           const std::source_location &loc);
+
+} // namespace detail
+
+/** Arguments bundled with the call site's source location. */
+struct FmtWithLoc
+{
+    std::string_view fmt;
+    std::source_location loc;
+
+    // Implicit so callers can pass plain string literals.
+    FmtWithLoc(const char *f, std::source_location l =
+                                  std::source_location::current())
+        : fmt(f), loc(l)
+    {
+    }
+};
+
+/**
+ * Report a condition that indicates a simulator bug and abort.
+ * Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(FmtWithLoc fmt, Args &&...args)
+{
+    detail::panicStr(fmtStr(fmt.fmt, std::forward<Args>(args)...),
+                     fmt.loc);
+}
+
+/**
+ * Report a condition caused by bad user input / configuration and
+ * exit with status 1. Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(FmtWithLoc fmt, Args &&...args)
+{
+    detail::fatalStr(fmtStr(fmt.fmt, std::forward<Args>(args)...),
+                     fmt.loc);
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(FmtWithLoc fmt, Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn,
+                       fmtStr(fmt.fmt, std::forward<Args>(args)...),
+                       fmt.loc);
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(FmtWithLoc fmt, Args &&...args)
+{
+    detail::logMessage(LogLevel::Inform,
+                       fmtStr(fmt.fmt, std::forward<Args>(args)...),
+                       fmt.loc);
+}
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Active in all build types (unlike assert).
+ */
+#define PRI_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::pri::panic("assertion failed: {} {}", #cond,                \
+                         ::std::string(__VA_ARGS__ ""));                  \
+        }                                                                 \
+    } while (0)
+
+} // namespace pri
+
+#endif // PRI_COMMON_LOGGING_HH

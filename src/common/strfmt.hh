@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal string formatting for diagnostics: replaces each "{...}"
+ * placeholder in a format string with the textual form of the next
+ * argument (format specs inside the braces are ignored). Used by the
+ * logging layer; report tables use snprintf directly for alignment.
+ */
+
+#ifndef PRI_COMMON_STRFMT_HH
+#define PRI_COMMON_STRFMT_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pri
+{
+
+namespace detail
+{
+
+template <typename T>
+std::string
+toDiagString(const T &v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+inline std::string
+miniFormat(std::string_view fmt,
+           const std::vector<std::string> &args)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * args.size());
+    size_t arg = 0;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out.push_back('{');
+                ++i;
+                continue;
+            }
+            const size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                out.append(fmt.substr(i));
+                break;
+            }
+            out += arg < args.size() ? args[arg++] : "{?}";
+            i = close;
+        } else if (c == '}' && i + 1 < fmt.size() &&
+                   fmt[i + 1] == '}') {
+            out.push_back('}');
+            ++i;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+
+/** Format @p fmt, substituting "{}" placeholders left to right. */
+template <typename... Args>
+std::string
+fmtStr(std::string_view fmt, Args &&...args)
+{
+    return detail::miniFormat(
+        fmt, {detail::toDiagString(std::forward<Args>(args))...});
+}
+
+} // namespace pri
+
+#endif // PRI_COMMON_STRFMT_HH

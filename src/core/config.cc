@@ -1,0 +1,31 @@
+#include "config.hh"
+
+namespace pri::core
+{
+
+CoreConfig
+CoreConfig::fourWide(const rename::RenameConfig &rn)
+{
+    CoreConfig c;
+    c.width = 4;
+    c.schedSize = 32;
+    c.rename = rn;
+    return c;
+}
+
+CoreConfig
+CoreConfig::eightWide(const rename::RenameConfig &rn)
+{
+    CoreConfig c;
+    c.width = 8;
+    c.schedSize = 512;
+    c.rename = rn;
+    c.numIntAlu = 8;
+    c.numIntMultDiv = 2;
+    c.numFpAlu = 4;
+    c.numFpMultDiv = 2;
+    c.numMemPorts = 4;
+    return c;
+}
+
+} // namespace pri::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine configuration (paper Table 1).
+ *
+ * Two presets: the conservative 4-wide current-generation model
+ * (32-entry scheduler) and the aggressive 8-wide future model
+ * (512-entry scheduler). Both use 512-entry ROBs, 256-entry LSQs,
+ * and 64 INT + 64 FP physical registers by default.
+ */
+
+#ifndef PRI_CORE_CONFIG_HH
+#define PRI_CORE_CONFIG_HH
+
+#include <cstdint>
+
+#include "memory/cache.hh"
+#include "rename/rename_unit.hh"
+
+namespace pri::core
+{
+
+/** Full machine configuration for one simulation. */
+struct CoreConfig
+{
+    unsigned width = 4;       ///< fetch/issue/commit width
+    unsigned robSize = 512;
+    unsigned lsqSize = 256;
+    unsigned schedSize = 32;
+
+    rename::RenameConfig rename;
+    memory::HierarchyParams mem;
+
+    // Functional units.
+    unsigned numIntAlu = 4;
+    unsigned numIntMultDiv = 1;
+    unsigned numFpAlu = 2;
+    unsigned numFpMultDiv = 1;
+    unsigned numMemPorts = 2;
+
+    // Pipeline shape (paper Figure 5):
+    // Fetch Decode | Rename | Queue Sched | Disp Disp RF RF | Exe
+    // | Retire | Commit  (12 stages).
+    unsigned fetchToRename = 2;   ///< Fetch + Decode
+    unsigned renameToSelect = 2;  ///< Queue + Sched entry
+    unsigned selectToExe = 4;     ///< Disp, Disp, RF, RF
+    unsigned exeToRetire = 1;     ///< writeback one stage later
+    unsigned redirectPenalty = 2; ///< resolve -> fetch restart
+    unsigned btbMissPenalty = 2;  ///< taken branch without a target
+
+    /** Fetch-buffer capacity between fetch and rename. */
+    unsigned fetchQueueSize() const { return 3 * width; }
+
+    /** Table 1, left column (with the given rename scheme). */
+    static CoreConfig fourWide(const rename::RenameConfig &rn);
+    /** Table 1, right column. */
+    static CoreConfig eightWide(const rename::RenameConfig &rn);
+
+    /** Narrow-value width the paper assigns per machine width. */
+    static unsigned
+    narrowBitsForWidth(unsigned width)
+    {
+        return width >= 8 ? 10 : 7;
+    }
+};
+
+} // namespace pri::core
+
+#endif // PRI_CORE_CONFIG_HH

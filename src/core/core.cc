@@ -1,0 +1,709 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/op_class.hh"
+
+namespace pri::core
+{
+
+OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
+                               const workload::SyntheticProgram &program,
+                               StatGroup &stats)
+    : cfg(config), sg(stats), prog(program), walker(program),
+      rn(config.rename, stats), mem(config.mem), lsq(config.lsqSize),
+      rob(config.robSize)
+{
+    for (auto cls : {0, 1}) {
+        specAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
+        actualAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
+    }
+    schedQueue.reserve(cfg.schedSize);
+
+    // Ideal-PRI payload rewrite: convert every in-flight consumer of
+    // (cls, preg) to carry the inlined immediate (paper §3.3's
+    // fully-associative payload RAM search-and-update).
+    rn.setIdealInlineHook([this](isa::RegClass cls,
+                                 isa::PhysRegId preg,
+                                 uint64_t value) {
+        for (uint32_t i = 0, idx = robHead; i < robCount;
+             ++i, idx = (idx + 1) % cfg.robSize) {
+            RobEntry &e = rob[idx];
+            if (!e.valid)
+                continue;
+            for (auto &s : e.src) {
+                if (s.valid && !s.imm && s.refHeld && s.cls == cls &&
+                    s.preg == preg) {
+                    rn.consumerSquashed(s); // releases the reference
+                    s.imm = true;
+                    s.value = value;
+                    s.preg = isa::kInvalidPhysReg;
+                }
+            }
+        }
+    });
+}
+
+uint64_t &
+OutOfOrderCore::specAvail(isa::RegClass cls, isa::PhysRegId p)
+{
+    return specAvail_[static_cast<unsigned>(cls)][p];
+}
+
+uint64_t &
+OutOfOrderCore::actualAvail(isa::RegClass cls, isa::PhysRegId p)
+{
+    return actualAvail_[static_cast<unsigned>(cls)][p];
+}
+
+bool
+OutOfOrderCore::srcSpecReady(const rename::SrcRead &s) const
+{
+    if (!s.valid || s.imm)
+        return true;
+    return specAvail_[static_cast<unsigned>(s.cls)][s.preg] <=
+        cycle + cfg.selectToExe;
+}
+
+bool
+OutOfOrderCore::srcActualReady(const rename::SrcRead &s) const
+{
+    if (!s.valid || s.imm)
+        return true;
+    return actualAvail_[static_cast<unsigned>(s.cls)][s.preg] <=
+        cycle;
+}
+
+unsigned
+OutOfOrderCore::fuIndex(isa::OpClass cls) const
+{
+    using isa::OpClass;
+    switch (cls) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv: return 1;
+      case OpClass::FpAdd: return 2;
+      case OpClass::FpMult:
+      case OpClass::FpDiv: return 3;
+      case OpClass::Load:
+      case OpClass::Store: return 4;
+      default: return 0; // IntAlu, Branch, Nop
+    }
+}
+
+void
+OutOfOrderCore::scheduleEvent(uint64_t when, EventType type,
+                              uint32_t idx)
+{
+    PRI_ASSERT(when > cycle && when - cycle < kWheelSize,
+               "event beyond wheel horizon");
+    wheel[when % kWheelSize].push_back(
+        Event{type, idx, rob[idx].slotGen});
+}
+
+void
+OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
+{
+    const uint64_t target = nCommitted + commit_target;
+    while (nCommitted < target) {
+        if (max_cycles != kNever && cycle >= max_cycles) {
+            warn("run() hit max_cycles before commit target");
+            return;
+        }
+        rn.beginCycle(cycle);
+        processEvents();
+        commitStage();
+        selectStage();
+        renameStage();
+        fetchStage();
+        if (cycle - lastCommitCycle > 500000) {
+            panic("no commit in 500k cycles at cycle {} "
+                  "(rob {}, sched {}+{}, fetchq {})",
+                  cycle, robCount, schedQueue.size(), schedHeld,
+                  fetchQueue.size());
+        }
+        ++cycle;
+    }
+}
+
+void
+OutOfOrderCore::beginMeasurement()
+{
+    markCycle = cycle;
+    markCommitted = nCommitted;
+    markOccIntAccum = sg.scalarValue("rename.occupancyIntAccum");
+    markOccFpAccum = sg.scalarValue("rename.occupancyFpAccum");
+}
+
+double
+OutOfOrderCore::ipc() const
+{
+    const uint64_t c = cycle - markCycle;
+    return c == 0 ? 0.0
+                  : static_cast<double>(nCommitted - markCommitted) /
+            static_cast<double>(c);
+}
+
+double
+OutOfOrderCore::avgIntOccupancy() const
+{
+    const uint64_t c = cycle - markCycle;
+    if (c == 0)
+        return 0.0;
+    return (sg.scalarValue("rename.occupancyIntAccum") -
+            markOccIntAccum) /
+        static_cast<double>(c);
+}
+
+double
+OutOfOrderCore::avgFpOccupancy() const
+{
+    const uint64_t c = cycle - markCycle;
+    if (c == 0)
+        return 0.0;
+    return (sg.scalarValue("rename.occupancyFpAccum") -
+            markOccFpAccum) /
+        static_cast<double>(c);
+}
+
+// ---------------------------------------------------------------
+// Event processing
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::processEvents()
+{
+    auto &slot = wheel[cycle % kWheelSize];
+    // Squashes triggered inside may invalidate later events in this
+    // slot; the slotGen check filters them.
+    std::vector<Event> events;
+    events.swap(slot);
+    // Completions must be visible before same-cycle execution
+    // starts: a dependent beginning execution this cycle picks its
+    // operand off the bypass network from a producer completing this
+    // cycle. Processing ExeStart first would mis-detect a latency
+    // misprediction and replay every back-to-back dependent pair.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Event &ev : events) {
+            RobEntry &e = rob[ev.robIdx];
+            if (!e.valid || e.slotGen != ev.slotGen)
+                continue; // squashed
+            const bool first_pass =
+                ev.type == EventType::ExeComplete ||
+                ev.type == EventType::Retire;
+            if (first_pass != (pass == 0))
+                continue;
+            switch (ev.type) {
+              case EventType::ExeStart:
+                onExeStart(e, ev.robIdx);
+                break;
+              case EventType::ExeComplete:
+                onExeComplete(e, ev.robIdx);
+                break;
+              case EventType::Retire:
+                onRetire(e);
+                break;
+            }
+        }
+    }
+}
+
+void
+OutOfOrderCore::replayInst(RobEntry &e, uint32_t idx)
+{
+    sg.scalar("core.replays") += 1;
+    e.replays += 1;
+    if (e.hasDst) {
+        specAvail(e.dst.cls, e.dstPreg) = kNever;
+        actualAvail(e.dst.cls, e.dstPreg) = kNever;
+    }
+    PRI_ASSERT(e.heldSlot);
+    e.heldSlot = false;
+    --schedHeld;
+    e.inScheduler = true;
+    e.readyForSelect = cycle + 1;
+    schedQueue.push_back(idx);
+}
+
+void
+OutOfOrderCore::onExeStart(RobEntry &e, uint32_t idx)
+{
+    // Speculative scheduling validation: all operands must actually
+    // be available now, else selective replay.
+    for (const auto &s : e.src) {
+        if (!srcActualReady(s)) {
+            replayInst(e, idx);
+            return;
+        }
+    }
+    // Operands validated: the instruction can no longer be replayed,
+    // so its scheduler slot is released ("known safe").
+    PRI_ASSERT(e.heldSlot);
+    e.heldSlot = false;
+    --schedHeld;
+
+    unsigned lat;
+    if (e.wi.isLoad()) {
+        const bool fwd = lsq.forwardHit(e.wi.seq, e.wi.memAddr);
+        unsigned mem_lat;
+        if (fwd) {
+            mem_lat = cfg.mem.dl1.latency;
+            sg.scalar("core.loadForwards") += 1;
+        } else {
+            mem_lat = mem.dataAccess(e.wi.memAddr, false);
+        }
+        if (mem_lat > cfg.mem.dl1.latency)
+            sg.scalar("core.loadMisses") += 1;
+        lat = 1 + mem_lat;
+    } else {
+        lat = isa::execLatency(e.wi.cls);
+    }
+
+    if (e.hasDst) {
+        // The true completion time is now known.
+        specAvail(e.dst.cls, e.dstPreg) = cycle + lat;
+    }
+    scheduleEvent(cycle + lat, EventType::ExeComplete, idx);
+}
+
+void
+OutOfOrderCore::onExeComplete(RobEntry &e, uint32_t idx)
+{
+    e.executed = true;
+
+    if (e.hasDst) {
+        specAvail(e.dst.cls, e.dstPreg) = cycle;
+        actualAvail(e.dst.cls, e.dstPreg) = cycle;
+    }
+    // Consumers are done with their operands (reads happened in the
+    // RF stages / bypass on the way here).
+    for (auto &s : e.src)
+        rn.consumerDone(s);
+
+    if (e.isBranch)
+        resolveBranch(e, idx);
+
+    scheduleEvent(cycle + cfg.exeToRetire, EventType::Retire, idx);
+}
+
+void
+OutOfOrderCore::onRetire(RobEntry &e)
+{
+    if (e.hasDst) {
+        // Under virtual-physical renaming the writeback claims
+        // storage and can stall. Only the *oldest unretired*
+        // instructions may dip into the reserved pool: every commit
+        // behind them is guaranteed, and each dest-writer commit
+        // frees one older value, so the machine always drains. A
+        // looser rule (anything near the head) lets younger
+        // writebacks exhaust the file while the head still waits —
+        // the classic virtual-physical deadlock.
+        const uint32_t idx = static_cast<uint32_t>(&e - rob.data());
+        bool privileged = true;
+        for (uint32_t i = robHead; i != idx;
+             i = (i + 1) % cfg.robSize) {
+            if (rob[i].valid && !rob[i].retired) {
+                privileged = false;
+                break;
+            }
+        }
+        if (!rn.writeback(e.dst, e.dstPreg, e.dstGen,
+                          e.wi.resultValue, privileged)) {
+            scheduleEvent(cycle + 2, EventType::Retire, idx);
+            return;
+        }
+    }
+    e.retired = true;
+}
+
+// ---------------------------------------------------------------
+// Branch resolution and squash
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::resolveBranch(RobEntry &e, uint32_t idx)
+{
+    const auto &wi = e.wi;
+    const bool dir_wrong = e.predTaken != wi.taken;
+    const bool target_wrong = !dir_wrong && wi.taken &&
+        e.predTarget != wi.actualTarget;
+    if (!dir_wrong && !target_wrong) {
+        // Correctly predicted: the shadow map can never be restored
+        // again, so PRI's checkpoint references retire now.
+        rn.resolveCheckpoint(e.ckptId);
+        e.ckptResolved = true;
+        return;
+    }
+
+    e.resolvedMispredict = true;
+    sg.scalar("core.branchMispredicts") += 1;
+    if (target_wrong)
+        sg.scalar("core.targetMispredicts") += 1;
+
+    squashAfter(idx);
+
+    // Walker back onto the correct path.
+    walker.restore(e.walkerCkpt);
+    walker.steer(wi, wi.taken, wi.actualTarget);
+
+    // Predictor state repair.
+    uint64_t h = e.bpSnap.history;
+    if (e.usedPredictor)
+        h = (h << 1) | (wi.taken ? 1 : 0);
+    predictor.setHistory(h);
+    ras.restore(e.bpSnap);
+    if (wi.isCall)
+        ras.push(wi.fallThrough);
+    else if (wi.isReturn)
+        ras.pop();
+
+    specArch = e.archSnap;
+    fetchQueue.clear();
+    fetchResumeCycle = cycle + cfg.redirectPenalty;
+
+    // The restored checkpoint has served its purpose; no older
+    // branch will ever restore it.
+    rn.resolveCheckpoint(e.ckptId);
+    e.ckptResolved = true;
+}
+
+void
+OutOfOrderCore::squashAfter(uint32_t branch_idx)
+{
+    const uint32_t stop = (branch_idx + 1) % cfg.robSize;
+    struct Freed
+    {
+        isa::RegClass cls;
+        isa::PhysRegId preg;
+        uint64_t gen;
+    };
+    std::vector<Freed> to_free;
+
+    while (robTail != stop) {
+        const uint32_t last =
+            (robTail + cfg.robSize - 1) % cfg.robSize;
+        RobEntry &y = rob[last];
+        PRI_ASSERT(y.valid);
+        for (auto &s : y.src)
+            rn.consumerSquashed(s);
+        if (y.isBranch)
+            rn.discardCheckpoint(y.ckptId);
+        if (y.hasDst)
+            to_free.push_back(
+                Freed{y.dst.cls, y.dstPreg, y.dstGen});
+        if (y.heldSlot) {
+            y.heldSlot = false;
+            --schedHeld;
+        }
+        y.valid = false;
+        y.slotGen += 1;
+        robTail = last;
+        --robCount;
+        sg.scalar("core.squashedInsts") += 1;
+    }
+
+    lsq.squashYounger(rob[branch_idx].wi.seq);
+
+    // Drop squashed scheduler entries.
+    std::erase_if(schedQueue, [this](uint32_t i) {
+        return !rob[i].valid || !rob[i].inScheduler;
+    });
+
+    rn.restoreCheckpoint(rob[branch_idx].ckptId);
+    for (const Freed &f : to_free)
+        rn.squashDest(f.cls, f.preg, f.gen);
+}
+
+// ---------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::commitStage()
+{
+    for (unsigned w = 0; w < cfg.width; ++w) {
+        if (robCount == 0)
+            return;
+        RobEntry &e = rob[robHead];
+        if (!e.valid || !e.retired)
+            return;
+
+        if (e.wi.isStore())
+            mem.dataAccess(e.wi.memAddr, true);
+        if (e.hasLsq)
+            lsq.commitHead(e.wi.seq);
+        if (e.hasDst)
+            rn.commitDest(e.dst.cls, e.prevMap, e.prevGen);
+        if (e.isBranch) {
+            if (e.usedPredictor)
+                predictor.update(e.wi.pc, e.wi.taken, e.bpTok);
+            if (e.wi.taken && !e.wi.isReturn)
+                btb.update(e.wi.pc, e.wi.actualTarget);
+            PRI_ASSERT(e.ckptResolved,
+                       "branch committed before it resolved");
+            rn.releaseCheckpoint(e.ckptId);
+            sg.scalar("core.committedBranches") += 1;
+        }
+
+        e.valid = false;
+        e.slotGen += 1;
+        robHead = (robHead + 1) % cfg.robSize;
+        --robCount;
+        ++nCommitted;
+        lastCommitCycle = cycle;
+        sg.scalar("core.committedInsts") += 1;
+    }
+}
+
+// ---------------------------------------------------------------
+// Select (issue)
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::selectStage()
+{
+    if (schedQueue.empty())
+        return;
+
+    // Oldest-first selection.
+    std::sort(schedQueue.begin(), schedQueue.end(),
+              [this](uint32_t a, uint32_t b) {
+                  return rob[a].wi.seq < rob[b].wi.seq;
+              });
+
+    std::array<unsigned, 5> fu = {cfg.numIntAlu, cfg.numIntMultDiv,
+                                  cfg.numFpAlu, cfg.numFpMultDiv,
+                                  cfg.numMemPorts};
+    unsigned issued = 0;
+
+    for (auto it = schedQueue.begin();
+         it != schedQueue.end() && issued < cfg.width;) {
+        const uint32_t idx = *it;
+        RobEntry &e = rob[idx];
+        PRI_ASSERT(e.valid && e.inScheduler);
+
+        if (e.readyForSelect > cycle || !srcSpecReady(e.src[0]) ||
+            !srcSpecReady(e.src[1])) {
+            ++it;
+            continue;
+        }
+        const unsigned k = fuIndex(e.wi.cls);
+        if (fu[k] == 0) {
+            ++it;
+            continue;
+        }
+        fu[k] -= 1;
+        ++issued;
+
+        e.inScheduler = false;
+        e.heldSlot = true;
+        ++schedHeld;
+        if (e.hasDst) {
+            const unsigned pred_lat = e.wi.isLoad()
+                ? 1 + cfg.mem.dl1.latency
+                : isa::execLatency(e.wi.cls);
+            specAvail(e.dst.cls, e.dstPreg) =
+                cycle + cfg.selectToExe + pred_lat;
+        }
+        scheduleEvent(cycle + cfg.selectToExe, EventType::ExeStart,
+                      idx);
+        it = schedQueue.erase(it);
+        sg.scalar("core.issuedInsts") += 1;
+    }
+}
+
+// ---------------------------------------------------------------
+// Rename / dispatch
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::renameStage()
+{
+    for (unsigned w = 0; w < cfg.width; ++w) {
+        if (fetchQueue.empty())
+            return;
+        FetchedInst &f = fetchQueue.front();
+        if (f.readyAt > cycle)
+            return;
+
+        const auto &wi = f.wi;
+        if (robCount == cfg.robSize) {
+            sg.scalar("core.stallRobFull") += 1;
+            return;
+        }
+        if (schedQueue.size() + schedHeld >= cfg.schedSize) {
+            sg.scalar("core.stallSchedFull") += 1;
+            return;
+        }
+        if (isa::isMem(wi.cls) && lsq.full()) {
+            sg.scalar("core.stallLsqFull") += 1;
+            return;
+        }
+        if (wi.hasDst() && !rn.canRename(wi.dst.cls)) {
+            sg.scalar(wi.dst.cls == isa::RegClass::Int
+                          ? "core.stallNoPregInt"
+                          : "core.stallNoPregFp") += 1;
+            return;
+        }
+
+        const uint32_t idx = robTail;
+        const uint64_t gen = rob[idx].slotGen;
+        rob[idx] = RobEntry{};
+        RobEntry &e = rob[idx];
+        e.valid = true;
+        e.slotGen = gen + 1;
+        e.wi = wi;
+        e.fetchCycle = f.fetchCycle;
+        e.renameCycle = cycle;
+        e.readyForSelect = cycle + cfg.renameToSelect;
+
+        // Source operands through the map (payload RAM fill).
+        const isa::RegId srcs[2] = {wi.src1, wi.src2};
+        for (int i = 0; i < 2; ++i) {
+            if (!srcs[i].valid())
+                continue;
+            e.src[i] = rn.readSrc(srcs[i]);
+            PRI_ASSERT(e.src[i].value == specArch[srcs[i].flat()],
+                       "renamed operand value diverges from "
+                       "architectural dataflow");
+        }
+
+        // Destination allocation.
+        if (wi.hasDst()) {
+            e.hasDst = true;
+            e.dst = wi.dst;
+            auto dr = rn.renameDest(wi.dst, wi.resultValue);
+            e.dstPreg = dr.preg;
+            e.dstGen = dr.gen;
+            e.prevMap = dr.prev;
+            e.prevGen = dr.prevGen;
+            specAvail(wi.dst.cls, dr.preg) = kNever;
+            actualAvail(wi.dst.cls, dr.preg) = kNever;
+            specArch[wi.dst.flat()] = wi.resultValue;
+        }
+
+        if (isa::isMem(wi.cls)) {
+            lsq.insert(wi.seq, wi.memAddr, wi.isStore());
+            e.hasLsq = true;
+        }
+
+        if (wi.isBranch()) {
+            e.isBranch = true;
+            e.predTaken = f.predTaken;
+            e.predTarget = f.predTarget;
+            e.usedPredictor = f.usedPredictor;
+            e.bpTok = f.bpTok;
+            e.bpSnap = f.bpSnap;
+            e.walkerCkpt = f.walkerCkpt;
+            e.ckptId = rn.createCheckpoint();
+            e.archSnap = specArch;
+        }
+
+        e.inScheduler = true;
+        schedQueue.push_back(idx);
+        robTail = (robTail + 1) % cfg.robSize;
+        ++robCount;
+        fetchQueue.pop_front();
+        sg.scalar("core.renamedInsts") += 1;
+    }
+}
+
+// ---------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::fetchStage()
+{
+    if (cycle < fetchResumeCycle) {
+        sg.scalar("core.fetchStallCycles") += 1;
+        return;
+    }
+    if (fetchQueue.size() >= cfg.fetchQueueSize())
+        return;
+
+    // One I-cache access per cycle for the current fetch group.
+    const uint64_t fetch_pc = walker.currentPc();
+    const unsigned ilat = mem.instAccess(fetch_pc);
+    if (ilat > cfg.mem.il1.latency) {
+        fetchResumeCycle = cycle + (ilat - cfg.mem.il1.latency);
+        sg.scalar("core.icacheMissStalls") += 1;
+        return;
+    }
+
+    for (unsigned w = 0; w < cfg.width; ++w) {
+        if (fetchQueue.size() >= cfg.fetchQueueSize())
+            return;
+
+        workload::WInst wi = walker.next();
+        FetchedInst f;
+        f.fetchCycle = cycle;
+        f.readyAt = cycle + cfg.fetchToRename;
+
+        if (wi.isBranch()) {
+            f.isBranch = true;
+            // Snapshot recovery state before speculative updates.
+            f.bpSnap.history = predictor.history();
+            ras.snapshot(f.bpSnap);
+
+            bool pred_taken = true;
+            if (!wi.isUncond) {
+                f.bpTok = predictor.predict(wi.pc);
+                f.usedPredictor = true;
+                pred_taken = f.bpTok.predTaken;
+            }
+
+            uint64_t pred_target;
+            if (wi.isReturn) {
+                pred_target = ras.pop();
+            } else {
+                pred_target = wi.actualTarget;
+                if (wi.isCall)
+                    ras.push(wi.fallThrough);
+                if (pred_taken && !btb.lookup(wi.pc)) {
+                    // Predicted taken but no target in the BTB:
+                    // short fetch bubble while decode computes it.
+                    fetchResumeCycle =
+                        cycle + 1 + cfg.btbMissPenalty;
+                    sg.scalar("core.btbMisses") += 1;
+                }
+            }
+            f.predTaken = pred_taken;
+            f.predTarget = pred_target;
+            f.walkerCkpt = walker.checkpoint();
+
+            // Steer the walker down the *fetched* direction. A
+            // wrong direction walks the real wrong path; a wrong
+            // return target (RAS stale) is steered down the actual
+            // path and charged the full penalty at resolve.
+            walker.steer(wi, pred_taken, wi.actualTarget);
+
+            f.wi = wi;
+            fetchQueue.push_back(f);
+            sg.scalar("core.fetchedInsts") += 1;
+            if (pred_taken) {
+                // Fetch stops at the first taken branch in a cycle.
+                return;
+            }
+            continue;
+        }
+
+        f.wi = wi;
+        fetchQueue.push_back(f);
+        sg.scalar("core.fetchedInsts") += 1;
+    }
+}
+
+void
+OutOfOrderCore::checkInvariants() const
+{
+    rn.checkInvariants();
+    PRI_ASSERT(robCount <= cfg.robSize);
+    PRI_ASSERT(schedQueue.size() + schedHeld <= cfg.schedSize);
+    unsigned valid = 0;
+    for (const auto &e : rob)
+        valid += e.valid ? 1 : 0;
+    PRI_ASSERT(valid == robCount, "ROB count mismatch");
+}
+
+} // namespace pri::core

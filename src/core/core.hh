@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The out-of-order core: a 12-stage, N-wide superscalar timing model
+ * with speculative scheduling and selective replay, derived from the
+ * paper's SimpleScalar/sim-outorder base (paper §4, Figure 5).
+ *
+ * Pipeline: Fetch Decode | Rename | Queue Sched | Disp Disp RF RF |
+ * Exe | Retire | Commit. Instructions are scheduled assuming fixed
+ * latencies (loads assume DL1 hits); latency mispredictions replay
+ * the dependent instructions only (selective recovery). Branches
+ * execute down the real wrong path of the synthetic program until
+ * they resolve. Register management — including Physical Register
+ * Inlining and Early Release — is delegated to rename::RenameUnit.
+ */
+
+#ifndef PRI_CORE_CORE_HH
+#define PRI_CORE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/stats.hh"
+#include "core/config.hh"
+#include "core/lsq.hh"
+#include "memory/cache.hh"
+#include "rename/rename_unit.hh"
+#include "workload/walker.hh"
+
+namespace pri::core
+{
+
+/** Sentinel "never" cycle. */
+constexpr uint64_t kNever = ~uint64_t{0};
+
+/** One reorder-buffer entry (includes the payload-RAM fields). */
+struct RobEntry
+{
+    bool valid = false;
+    uint64_t slotGen = 0; ///< bumped on reuse; filters stale events
+
+    workload::WInst wi;
+
+    // Payload RAM: source operands as renamed.
+    std::array<rename::SrcRead, 2> src;
+
+    bool hasDst = false;
+    isa::RegId dst = isa::noReg();
+    isa::PhysRegId dstPreg = isa::kInvalidPhysReg;
+    uint64_t dstGen = 0;
+    rename::MapEntry prevMap;
+    uint64_t prevGen = 0;
+
+    // Progress.
+    bool inScheduler = false;
+    bool heldSlot = false; ///< selected; still holds a sched slot
+    bool executed = false;
+    bool retired = false;
+    unsigned replays = 0;
+    uint64_t fetchCycle = 0;
+    uint64_t renameCycle = 0;
+    uint64_t readyForSelect = 0;
+
+    // Branch state.
+    bool isBranch = false;
+    bool predTaken = false;
+    uint64_t predTarget = 0;
+    bool resolvedMispredict = false;
+    bool ckptResolved = false;
+    rename::CkptId ckptId = 0;
+    workload::WalkerCkpt walkerCkpt;
+    branch::PredictorSnapshot bpSnap;
+    branch::PredictToken bpTok;
+    bool usedPredictor = false; ///< conditional: tables were read
+    /** Speculative architectural values at this branch (both
+     *  classes), for dataflow-check recovery. */
+    std::array<uint64_t, 2 * isa::kNumLogicalRegs> archSnap{};
+
+    // Memory state.
+    bool hasLsq = false;
+};
+
+/** Execution-driven out-of-order core simulator. */
+class OutOfOrderCore
+{
+  public:
+    OutOfOrderCore(const CoreConfig &config,
+                   const workload::SyntheticProgram &program,
+                   StatGroup &stats);
+
+    /**
+     * Simulate until @p commit_target instructions commit (or
+     * @p max_cycles elapse, with a warning).
+     */
+    void run(uint64_t commit_target, uint64_t max_cycles = kNever);
+
+    /** Start a fresh measurement window (after warmup). */
+    void beginMeasurement();
+
+    uint64_t cycles() const { return cycle; }
+    uint64_t committedInsts() const { return nCommitted; }
+
+    /** Committed IPC inside the current measurement window. */
+    double ipc() const;
+
+    /** Average PRF occupancy (INT) in the measurement window. */
+    double avgIntOccupancy() const;
+    /** Average PRF occupancy (FP) in the measurement window. */
+    double avgFpOccupancy() const;
+
+    StatGroup &stats() { return sg; }
+    rename::RenameUnit &renameUnit() { return rn; }
+    memory::MemoryHierarchy &memory() { return mem; }
+
+    /** Validate cross-module invariants; panics on violation. */
+    void checkInvariants() const;
+
+  private:
+    enum class EventType : uint8_t
+    {
+        ExeStart,
+        ExeComplete,
+        Retire,
+    };
+
+    struct Event
+    {
+        EventType type;
+        uint32_t robIdx;
+        uint64_t slotGen;
+    };
+
+    // --- pipeline stages (called once per cycle) ---
+    void processEvents();
+    void commitStage();
+    void selectStage();
+    void renameStage();
+    void fetchStage();
+
+    // --- event handlers ---
+    void onExeStart(RobEntry &e, uint32_t idx);
+    void onExeComplete(RobEntry &e, uint32_t idx);
+    void onRetire(RobEntry &e);
+
+    void resolveBranch(RobEntry &e, uint32_t idx);
+    void squashAfter(uint32_t branch_idx);
+
+    void scheduleEvent(uint64_t when, EventType type, uint32_t idx);
+    void replayInst(RobEntry &e, uint32_t idx);
+
+    bool srcSpecReady(const rename::SrcRead &s) const;
+    bool srcActualReady(const rename::SrcRead &s) const;
+    uint64_t &specAvail(isa::RegClass cls, isa::PhysRegId p);
+    uint64_t &actualAvail(isa::RegClass cls, isa::PhysRegId p);
+
+    unsigned fuIndex(isa::OpClass cls) const;
+
+    CoreConfig cfg;
+    StatGroup &sg;
+    const workload::SyntheticProgram &prog;
+    workload::Walker walker;
+    rename::RenameUnit rn;
+    memory::MemoryHierarchy mem;
+    branch::CombinedPredictor predictor;
+    branch::Btb btb;
+    branch::Ras ras;
+    Lsq lsq;
+
+    // ROB (circular).
+    std::vector<RobEntry> rob;
+    uint32_t robHead = 0;
+    uint32_t robTail = 0;
+    uint32_t robCount = 0;
+
+    // Scheduler: indices of ROB entries waiting to issue, plus a
+    // count of slots held by selected-but-incomplete instructions
+    // (selective recovery keeps them allocated until completion).
+    std::vector<uint32_t> schedQueue;
+    unsigned schedHeld = 0;
+
+    // Fetch queue between fetch and rename.
+    struct FetchedInst
+    {
+        workload::WInst wi;
+        uint64_t readyAt = 0;
+        uint64_t fetchCycle = 0;
+        bool isBranch = false;
+        bool predTaken = false;
+        uint64_t predTarget = 0;
+        bool usedPredictor = false;
+        branch::PredictToken bpTok;
+        branch::PredictorSnapshot bpSnap;
+        workload::WalkerCkpt walkerCkpt;
+    };
+    std::deque<FetchedInst> fetchQueue;
+    uint64_t fetchResumeCycle = 0;
+
+    // Per-physical-register availability (timing scoreboard).
+    std::array<std::vector<uint64_t>, 2> specAvail_;
+    std::array<std::vector<uint64_t>, 2> actualAvail_;
+
+    // Speculative architectural values, for dataflow checking.
+    std::array<uint64_t, 2 * isa::kNumLogicalRegs> specArch{};
+
+    // Event wheel.
+    static constexpr unsigned kWheelSize = 1024;
+    std::array<std::vector<Event>, kWheelSize> wheel;
+
+    uint64_t cycle = 0;
+    uint64_t nCommitted = 0;
+    uint64_t markCycle = 0;
+    uint64_t markCommitted = 0;
+    double markOccIntAccum = 0;
+    double markOccFpAccum = 0;
+    uint64_t lastCommitCycle = 0;
+};
+
+} // namespace pri::core
+
+#endif // PRI_CORE_CORE_HH

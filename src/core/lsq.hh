@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Load/store queue.
+ *
+ * A circular buffer of in-flight memory operations. Addresses are
+ * known at insertion (rename) — an oracle memory-dependence model
+ * (DESIGN.md §5): loads forward from the youngest older store to the
+ * same 8-byte word; there is no memory-order misspeculation.
+ */
+
+#ifndef PRI_CORE_LSQ_HH
+#define PRI_CORE_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pri::core
+{
+
+/** Load/store queue with oracle forwarding. */
+class Lsq
+{
+  public:
+    explicit Lsq(unsigned size) : entries(size) {}
+
+    bool full() const { return count == entries.size(); }
+    unsigned occupancy() const { return count; }
+
+    /** Insert a memory op at the tail; returns its slot index. */
+    unsigned
+    insert(uint64_t seq, uint64_t addr, bool is_store)
+    {
+        PRI_ASSERT(!full(), "LSQ overflow");
+        const unsigned slot = tail;
+        entries[slot] = Entry{seq, addr & ~uint64_t{7}, is_store,
+                              true};
+        tail = (tail + 1) % entries.size();
+        ++count;
+        return slot;
+    }
+
+    /**
+     * True when an older in-flight store to the same 8-byte word
+     * exists (store-to-load forwarding hit).
+     */
+    bool
+    forwardHit(uint64_t load_seq, uint64_t addr) const
+    {
+        const uint64_t word = addr & ~uint64_t{7};
+        for (unsigned i = 0, idx = head; i < count;
+             ++i, idx = (idx + 1) % entries.size()) {
+            const Entry &e = entries[idx];
+            if (e.valid && e.isStore && e.seq < load_seq &&
+                e.addr == word) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Release the head entry (commit order). */
+    void
+    commitHead(uint64_t seq)
+    {
+        PRI_ASSERT(count > 0, "LSQ underflow");
+        PRI_ASSERT(entries[head].valid && entries[head].seq == seq,
+                   "LSQ commit out of order");
+        entries[head].valid = false;
+        head = (head + 1) % entries.size();
+        --count;
+    }
+
+    /** Drop all entries younger than @p branch_seq (squash). */
+    void
+    squashYounger(uint64_t branch_seq)
+    {
+        while (count > 0) {
+            const unsigned last =
+                (tail + entries.size() - 1) % entries.size();
+            if (!entries[last].valid ||
+                entries[last].seq <= branch_seq) {
+                break;
+            }
+            entries[last].valid = false;
+            tail = last;
+            --count;
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t seq = 0;
+        uint64_t addr = 0;
+        bool isStore = false;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries;
+    unsigned head = 0;
+    unsigned tail = 0;
+    unsigned count = 0;
+};
+
+} // namespace pri::core
+
+#endif // PRI_CORE_LSQ_HH

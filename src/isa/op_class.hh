@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Operation classes of the simple RISC-like ISA model.
+ *
+ * The reproduction does not interpret real Alpha encodings; the
+ * timing simulator only needs the operation class (which functional
+ * unit, which latency, load/store/branch behaviour), the register
+ * operands, and the produced value. Latencies follow the classic
+ * SimpleScalar defaults used by the paper's sim-outorder base.
+ */
+
+#ifndef PRI_ISA_OP_CLASS_HH
+#define PRI_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pri::isa
+{
+
+/** Functional classes of dynamic instructions. */
+enum class OpClass : uint8_t
+{
+    IntAlu,   ///< integer add/sub/logic/shift/compare
+    IntMult,  ///< integer multiply
+    IntDiv,   ///< integer divide
+    FpAdd,    ///< FP add/sub/convert
+    FpMult,   ///< FP multiply
+    FpDiv,    ///< FP divide/sqrt
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional branch / jump / call / return
+    Nop,      ///< no-operation
+    NumOpClasses,
+};
+
+constexpr size_t kNumOpClasses =
+    static_cast<size_t>(OpClass::NumOpClasses);
+
+/** Fixed execution latency in cycles (loads use the cache model). */
+constexpr unsigned
+execLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv: return 20;
+      case OpClass::FpAdd: return 2;
+      case OpClass::FpMult: return 4;
+      case OpClass::FpDiv: return 12;
+      case OpClass::Load: return 1;   // address generation; + cache
+      case OpClass::Store: return 1;  // address generation
+      case OpClass::Branch: return 1;
+      case OpClass::Nop: return 1;
+      default: return 1;
+    }
+}
+
+constexpr bool isLoad(OpClass c) { return c == OpClass::Load; }
+constexpr bool isStore(OpClass c) { return c == OpClass::Store; }
+constexpr bool
+isMem(OpClass c)
+{
+    return isLoad(c) || isStore(c);
+}
+constexpr bool isBranch(OpClass c) { return c == OpClass::Branch; }
+constexpr bool
+isFp(OpClass c)
+{
+    return c == OpClass::FpAdd || c == OpClass::FpMult ||
+        c == OpClass::FpDiv;
+}
+
+/** Short mnemonic for tracing and reports. */
+constexpr std::string_view
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "ialu";
+      case OpClass::IntMult: return "imul";
+      case OpClass::IntDiv: return "idiv";
+      case OpClass::FpAdd: return "fadd";
+      case OpClass::FpMult: return "fmul";
+      case OpClass::FpDiv: return "fdiv";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Branch: return "branch";
+      case OpClass::Nop: return "nop";
+      default: return "?";
+    }
+}
+
+} // namespace pri::isa
+
+#endif // PRI_ISA_OP_CLASS_HH

@@ -1,0 +1,82 @@
+#include "prf_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pri::rename
+{
+
+namespace
+{
+
+double
+cellPitch(unsigned ports)
+{
+    return 1.0 + PrfModel::kPortPitch * ports;
+}
+
+} // namespace
+
+double
+PrfModel::rawDelay(const PrfGeometry &g)
+{
+    PRI_ASSERT(g.entries >= 2 && g.bits >= 1);
+    const unsigned ports = g.readPorts + g.writePorts;
+    const double pitch = cellPitch(ports);
+    const double wordline = g.bits * pitch;
+    const double bitline = g.entries * pitch;
+    const double decode = kDec * std::log2(
+        static_cast<double>(g.entries));
+    // Normalise wire lengths against a 64x64 single-pitch array so
+    // the constants are dimensionless and comparable.
+    return decode + kWire * (wordline + bitline) / 128.0;
+}
+
+double
+PrfModel::rawArea(const PrfGeometry &g)
+{
+    const unsigned ports = g.readPorts + g.writePorts;
+    const double pitch = cellPitch(ports);
+    return static_cast<double>(g.entries) * g.bits * pitch * pitch;
+}
+
+double
+PrfModel::rawEnergy(const PrfGeometry &g)
+{
+    const unsigned ports = g.readPorts + g.writePorts;
+    const double pitch = cellPitch(ports);
+    // One wordline and one bitline pair switch per access.
+    return (g.bits * pitch + g.entries * pitch) / 128.0;
+}
+
+PrfEstimate
+PrfModel::estimate(const PrfGeometry &g)
+{
+    PrfGeometry base;
+    PrfEstimate e;
+    e.accessDelay = rawDelay(g) / rawDelay(base);
+    e.area = rawArea(g) / rawArea(base);
+    e.energyPerAccess = rawEnergy(g) / rawEnergy(base);
+    return e;
+}
+
+unsigned
+PrfModel::entriesWithinDelay(double delay_budget,
+                             const PrfGeometry &base, unsigned lo,
+                             unsigned hi)
+{
+    PRI_ASSERT(lo >= 2 && lo <= hi);
+    unsigned best = lo;
+    for (unsigned r = lo; r <= hi; ++r) {
+        PrfGeometry g = base;
+        g.entries = r;
+        if (rawDelay(g) <= delay_budget)
+            best = r;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace pri::rename

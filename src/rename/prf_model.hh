@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-order analytical model of physical register file access
+ * delay, area, and energy, after the style of Farkas et al. [6] and
+ * Rixner et al. — the paper's §1 motivation: access time grows with
+ * the register count, forcing multicycle access, and PRI's payoff is
+ * that fewer registers (or the same count used better) buy back
+ * delay, area, and energy.
+ *
+ * The model is deliberately simple and normalised: it captures the
+ * scaling shape (decoder depth ~ log2 R, word/bitline RC ~ wire
+ * length, cell pitch growing linearly with ports in each dimension),
+ * not absolute silicon numbers.
+ */
+
+#ifndef PRI_RENAME_PRF_MODEL_HH
+#define PRI_RENAME_PRF_MODEL_HH
+
+#include <cstdint>
+
+namespace pri::rename
+{
+
+/** Geometry of one register file. */
+struct PrfGeometry
+{
+    unsigned entries = 64;   ///< physical registers
+    unsigned bits = 64;      ///< width of each register
+    unsigned readPorts = 8;  ///< 2 per issue slot, typically
+    unsigned writePorts = 4; ///< 1 per issue slot
+};
+
+/** Normalised outputs (unit: the 64x64, 8R4W baseline = 1.0). */
+struct PrfEstimate
+{
+    double accessDelay = 1.0;
+    double area = 1.0;
+    double energyPerAccess = 1.0;
+};
+
+/**
+ * Analytical register file model.
+ *
+ * Cell pitch grows linearly with ports in each dimension (every
+ * port adds a wordline horizontally and a bitline vertically):
+ *   cellW = 1 + kPortPitch * ports
+ *   cellH = 1 + kPortPitch * ports
+ * Wordline length  ~ bits    * cellW
+ * Bitline length   ~ entries * cellH
+ * Decode depth     ~ log2(entries)
+ * Delay  = kDec*log2(R) + kWire*(wordline + bitline)   (RC, linear
+ *          in length at constant drive per segment)
+ * Area   = entries * bits * cellW * cellH
+ * Energy ~ wordline + bitline switched per access.
+ */
+class PrfModel
+{
+  public:
+    /** Fraction of cell pitch added per port. */
+    static constexpr double kPortPitch = 0.25;
+    static constexpr double kDec = 0.12;  ///< decode weight
+    static constexpr double kWire = 1.0;  ///< wire RC weight
+
+    /** Estimate normalised to the paper's 64-entry baseline. */
+    static PrfEstimate estimate(const PrfGeometry &g);
+
+    /** Raw (unnormalised) delay in model units. */
+    static double rawDelay(const PrfGeometry &g);
+    static double rawArea(const PrfGeometry &g);
+    static double rawEnergy(const PrfGeometry &g);
+
+    /**
+     * Smallest register count (searching @p lo..@p hi) whose raw
+     * delay does not exceed @p delay_budget model units.
+     */
+    static unsigned entriesWithinDelay(double delay_budget,
+                                       const PrfGeometry &base,
+                                       unsigned lo, unsigned hi);
+};
+
+} // namespace pri::rename
+
+#endif // PRI_RENAME_PRF_MODEL_HH

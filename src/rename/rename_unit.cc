@@ -1,0 +1,751 @@
+#include "rename_unit.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace pri::rename
+{
+
+// ---------------------------------------------------------------
+// RenameConfig
+// ---------------------------------------------------------------
+
+std::string
+RenameConfig::schemeName() const
+{
+    if (virtualPhysical)
+        return pri ? "VP+PRI" : "VP";
+    if (numPhysRegs >= 1024)
+        return "InfPR";
+    if (pri && earlyRelease)
+        return "PRI+ER";
+    if (pri) {
+        std::string n = priIdeal ? "PRI-ideal" : "PRI-refcount";
+        n += lazyCkptUpdate ? "+lazy" : "+ckptcount";
+        return n;
+    }
+    if (earlyRelease)
+        return "ER";
+    return "Base";
+}
+
+RenameConfig
+RenameConfig::base(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c;
+    c.numPhysRegs = pregs;
+    c.narrowBitsInt = narrow_bits;
+    return c;
+}
+
+RenameConfig
+RenameConfig::er(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = base(pregs, narrow_bits);
+    c.earlyRelease = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::priRefcountCkptcount(unsigned pregs,
+                                   unsigned narrow_bits)
+{
+    RenameConfig c = base(pregs, narrow_bits);
+    c.pri = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::priRefcountLazy(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = priRefcountCkptcount(pregs, narrow_bits);
+    c.lazyCkptUpdate = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::priIdealCkptcount(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = priRefcountCkptcount(pregs, narrow_bits);
+    c.priIdeal = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::priIdealLazy(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = priIdealCkptcount(pregs, narrow_bits);
+    c.lazyCkptUpdate = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::priPlusEr(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = priRefcountCkptcount(pregs, narrow_bits);
+    c.earlyRelease = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::infinite(unsigned narrow_bits)
+{
+    // Enough registers that renaming can never stall: ROB-depth of
+    // in-flight destinations plus the architected state.
+    return base(1024, narrow_bits);
+}
+
+RenameConfig
+RenameConfig::virtualPhys(unsigned pregs, unsigned narrow_bits)
+{
+    RenameConfig c = base(pregs, narrow_bits);
+    c.virtualPhysical = true;
+    return c;
+}
+
+RenameConfig
+RenameConfig::virtualPhysPlusPri(unsigned pregs,
+                                 unsigned narrow_bits)
+{
+    RenameConfig c = virtualPhys(pregs, narrow_bits);
+    c.pri = true;
+    return c;
+}
+
+// ---------------------------------------------------------------
+// RenameUnit
+// ---------------------------------------------------------------
+
+RenameUnit::RenameUnit(const RenameConfig &config, StatGroup &sg)
+    : cfg(config), stats(sg),
+      intState(config.renameTagSpace(), isa::kNumLogicalRegs),
+      fpState(config.renameTagSpace(), isa::kNumLogicalRegs)
+{
+    PRI_ASSERT(cfg.numPhysRegs > isa::kNumLogicalRegs,
+               "need more physical than architected registers");
+    PRI_ASSERT(!cfg.virtualPhysical ||
+                   cfg.numPhysRegs >
+                       isa::kNumLogicalRegs + cfg.vpReserve,
+               "VP storage budget too small");
+    // Architected registers start allocated, complete, mapped, and
+    // holding physical storage.
+    for (auto *st : {&intState, &fpState}) {
+        for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+            auto &info = st->pregs[i];
+            info.complete = true;
+            info.mappedBy = static_cast<int16_t>(i);
+            info.holdsStorage = true;
+        }
+        st->storageUsed = isa::kNumLogicalRegs;
+    }
+    // Flat mappedBy uses the per-class logical index (0..31); class
+    // is implicit in which ClassState the preg lives in.
+}
+
+void
+RenameUnit::setIdealInlineHook(IdealInlineHook hook)
+{
+    idealHook = std::move(hook);
+}
+
+RenameUnit::ClassState &
+RenameUnit::state(isa::RegClass cls)
+{
+    return cls == isa::RegClass::Int ? intState : fpState;
+}
+
+const RenameUnit::ClassState &
+RenameUnit::state(isa::RegClass cls) const
+{
+    return cls == isa::RegClass::Int ? intState : fpState;
+}
+
+bool
+RenameUnit::useCkptRefs() const
+{
+    return cfg.earlyRelease || (cfg.pri && !cfg.lazyCkptUpdate);
+}
+
+bool
+RenameUnit::isNarrow(isa::RegClass cls, uint64_t value) const
+{
+    if (cls == isa::RegClass::Int)
+        return fitsInSignedBits(value, cfg.narrowBitsInt);
+    return fpValueTrivial(value);
+}
+
+void
+RenameUnit::beginCycle(uint64_t cycle)
+{
+    now = cycle;
+    stats.scalar("rename.cycles") += 1;
+    stats.scalar("rename.occupancyIntAccum") +=
+        cfg.virtualPhysical ? intState.storageUsed
+                            : intState.freeList.numAllocated();
+    stats.scalar("rename.occupancyFpAccum") +=
+        cfg.virtualPhysical ? fpState.storageUsed
+                            : fpState.freeList.numAllocated();
+}
+
+bool
+RenameUnit::canRename(isa::RegClass cls) const
+{
+    return state(cls).freeList.hasFree();
+}
+
+SrcRead
+RenameUnit::readSrc(isa::RegId src)
+{
+    PRI_ASSERT(src.valid());
+    auto &st = state(src.cls);
+    const MapEntry &e = st.map.read(src.idx);
+
+    SrcRead r;
+    r.valid = true;
+    r.cls = src.cls;
+    if (e.imm) {
+        r.imm = true;
+        r.value = e.value;
+        stats.scalar("rename.srcImmReads") += 1;
+        return r;
+    }
+    r.preg = e.preg;
+    auto &info = st.pregs[e.preg];
+    r.value = info.value;
+    info.consumerRefs += 1;
+    r.refHeld = true;
+    stats.scalar("rename.srcPregReads") += 1;
+    return r;
+}
+
+RenameUnit::DestRename
+RenameUnit::renameDest(isa::RegId dst, uint64_t future_value)
+{
+    PRI_ASSERT(dst.valid());
+    auto &st = state(dst.cls);
+    PRI_ASSERT(st.freeList.hasFree(), "rename without free register");
+
+    DestRename out;
+    out.prev = st.map.read(dst.idx);
+    if (!out.prev.imm) {
+        auto &prev_info = st.pregs[out.prev.preg];
+        out.prevGen = prev_info.gen;
+        PRI_ASSERT(prev_info.mappedBy ==
+                   static_cast<int16_t>(dst.idx));
+        // The ER "unmap" event: the old register is no longer the
+        // current mapping. Record the checkpoint horizon it must
+        // outlive before ER may free it.
+        prev_info.mappedBy = -1;
+        prev_info.erUnmapWatermark = nextCkptId - 1;
+    }
+
+    const isa::PhysRegId p = st.freeList.allocate();
+    auto &info = st.pregs[p];
+    if (!cfg.virtualPhysical) {
+        // Conventional allocation claims physical storage up front;
+        // VP claims only at writeback, when the value exists.
+        info.holdsStorage = true;
+        st.storageUsed += 1;
+    }
+    info.value = future_value;
+    info.gen += 1;
+    info.consumerRefs = 0;
+    info.complete = false;
+    info.pendingNarrowFree = false;
+    info.pendingCommitFree = false;
+    info.mappedBy = static_cast<int16_t>(dst.idx);
+    info.allocCycle = now;
+    info.writeCycle = 0;
+    info.lastReadCycle = 0;
+    info.everRead = false;
+    PRI_ASSERT(info.ckptRefs == 0);
+
+    out.preg = p;
+    out.gen = info.gen;
+    st.map.write(dst.idx, MapEntry::makePreg(p));
+    stats.scalar("rename.destAllocs") += 1;
+
+    // The unmapped previous register may now satisfy ER conditions.
+    if (!out.prev.imm)
+        tryFree(dst.cls, out.prev.preg);
+    return out;
+}
+
+CkptId
+RenameUnit::createCheckpoint()
+{
+    const CkptId id = nextCkptId++;
+    Checkpoint c;
+    c.intMap = intState.map.copy();
+    c.fpMap = fpState.map.copy();
+    if (useCkptRefs())
+        takeCkptRefs(c, +1);
+    ckpts.emplace(id, std::move(c));
+    stats.scalar("rename.checkpointsCreated") += 1;
+    return id;
+}
+
+void
+RenameUnit::takeCkptRefs(const Checkpoint &c, int delta)
+{
+    for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+        if (!c.intMap[i].imm) {
+            intState.pregs[c.intMap[i].preg].ckptRefs += delta;
+            if (delta < 0)
+                tryFree(isa::RegClass::Int, c.intMap[i].preg);
+        }
+        if (!c.fpMap[i].imm) {
+            fpState.pregs[c.fpMap[i].preg].ckptRefs += delta;
+            if (delta < 0)
+                tryFree(isa::RegClass::Fp, c.fpMap[i].preg);
+        }
+    }
+}
+
+bool
+RenameUnit::erCkptHorizonClear(uint64_t watermark) const
+{
+    return ckpts.empty() || ckpts.begin()->first > watermark;
+}
+
+void
+RenameUnit::sweepErFrees()
+{
+    for (auto cls : {isa::RegClass::Int, isa::RegClass::Fp}) {
+        const auto n = state(cls).pregs.size();
+        for (unsigned p = 0; p < n; ++p)
+            tryFree(cls, static_cast<isa::PhysRegId>(p));
+    }
+}
+
+void
+RenameUnit::resolveCheckpoint(CkptId id)
+{
+    auto it = ckpts.find(id);
+    PRI_ASSERT(it != ckpts.end(), "resolve of unknown checkpoint");
+    PRI_ASSERT(!it->second.resolved, "checkpoint resolved twice");
+    it->second.resolved = true;
+    if (useCkptRefs())
+        takeCkptRefs(it->second, -1);
+}
+
+void
+RenameUnit::releaseCheckpoint(CkptId id)
+{
+    auto it = ckpts.find(id);
+    PRI_ASSERT(it != ckpts.end(), "release of unknown checkpoint");
+    PRI_ASSERT(it->second.resolved,
+               "checkpoint committed before the branch resolved");
+    const bool was_oldest = it == ckpts.begin();
+    ckpts.erase(it);
+    if (cfg.earlyRelease && was_oldest)
+        sweepErFrees();
+}
+
+void
+RenameUnit::discardCheckpoint(CkptId id)
+{
+    auto it = ckpts.find(id);
+    PRI_ASSERT(it != ckpts.end(), "discard of unknown checkpoint");
+    if (useCkptRefs() && !it->second.resolved)
+        takeCkptRefs(it->second, -1);
+    const bool was_oldest = it == ckpts.begin();
+    ckpts.erase(it);
+    if (cfg.earlyRelease && was_oldest)
+        sweepErFrees();
+    stats.scalar("rename.checkpointsSquashed") += 1;
+}
+
+void
+RenameUnit::restoreCheckpoint(CkptId id)
+{
+    auto it = ckpts.find(id);
+    PRI_ASSERT(it != ckpts.end(), "restore of unknown checkpoint");
+    PRI_ASSERT(!it->second.resolved,
+               "restore of an already-resolved checkpoint");
+    const Checkpoint &c = it->second;
+
+    for (auto cls : {isa::RegClass::Int, isa::RegClass::Fp}) {
+        auto &st = state(cls);
+        const auto &snap =
+            cls == isa::RegClass::Int ? c.intMap : c.fpMap;
+
+        // Unmap everything the current map names.
+        for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+            const MapEntry &cur = st.map.read(i);
+            if (!cur.imm)
+                st.pregs[cur.preg].mappedBy = -1;
+        }
+        // Install the checkpointed mappings. A register that was
+        // already inlined-and-armed for freeing is restored in
+        // immediate mode (its value is complete by definition), so
+        // it can never be resurrected as a live mapping.
+        for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+            MapEntry e = snap[i];
+            if (!e.imm) {
+                auto &info = st.pregs[e.preg];
+                PRI_ASSERT(st.freeList.isAllocated(e.preg),
+                           "checkpoint names a freed register");
+                if (info.pendingNarrowFree) {
+                    PRI_ASSERT(info.complete);
+                    e = MapEntry::makeImm(info.value);
+                } else {
+                    info.mappedBy = static_cast<int16_t>(i);
+                }
+            }
+            st.map.write(i, e);
+        }
+        // Registers that fell out of the map may now be freeable.
+        for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+            if (!snap[i].imm)
+                tryFree(cls, snap[i].preg);
+        }
+    }
+    stats.scalar("rename.checkpointsRestored") += 1;
+}
+
+void
+RenameUnit::consumerDone(SrcRead &src)
+{
+    if (!src.valid || src.imm)
+        return;
+    auto &st = state(src.cls);
+    auto &info = st.pregs[src.preg];
+    info.lastReadCycle = now;
+    info.everRead = true;
+    if (src.refHeld) {
+        src.refHeld = false;
+        PRI_ASSERT(info.consumerRefs > 0);
+        info.consumerRefs -= 1;
+        tryFree(src.cls, src.preg);
+    }
+}
+
+void
+RenameUnit::consumerSquashed(SrcRead &src)
+{
+    if (!src.valid || src.imm || !src.refHeld)
+        return;
+    auto &st = state(src.cls);
+    auto &info = st.pregs[src.preg];
+    src.refHeld = false;
+    PRI_ASSERT(info.consumerRefs > 0);
+    info.consumerRefs -= 1;
+    tryFree(src.cls, src.preg);
+}
+
+bool
+RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
+                      uint64_t gen, uint64_t value, bool privileged)
+{
+    PRI_ASSERT(dst.valid());
+    auto &st = state(dst.cls);
+    auto &info = st.pregs[preg];
+    if (cfg.virtualPhysical &&
+        (!st.freeList.isAllocated(preg) || info.gen != gen)) {
+        // A retried VP writeback whose register was meanwhile freed
+        // (e.g. by ER after the unmap): nothing left to store.
+        return true;
+    }
+    PRI_ASSERT(st.freeList.isAllocated(preg) && info.gen == gen,
+               "writeback to a register the producer no longer owns");
+    PRI_ASSERT(info.value == value,
+               "writeback value differs from rename-time value");
+    const bool first_attempt = !info.complete;
+    info.complete = true;
+    if (first_attempt)
+        info.writeCycle = now;
+
+    if (first_attempt && cfg.pri && isNarrow(dst.cls, value)) {
+        stats.scalar(dst.cls == isa::RegClass::Int
+                         ? "pri.narrowResultsInt"
+                         : "pri.narrowResultsFp") += 1;
+
+        // Figure 7 WAW check on the current map: inline only if the
+        // entry still names this register.
+        const MapEntry &cur = st.map.read(dst.idx);
+        if (!cur.imm && cur.preg == preg) {
+            st.map.write(dst.idx, MapEntry::makeImm(value));
+            info.mappedBy = -1;
+            info.erUnmapWatermark = nextCkptId - 1;
+            stats.scalar("pri.inlinedCurrentMap") += 1;
+        } else {
+            stats.scalar("pri.narrowButRemapped") += 1;
+        }
+
+        // Lazy scheme: walk every checkpointed copy and apply the
+        // same check-and-update (Figure 7 "More checkpoints?" loop).
+        if (cfg.lazyCkptUpdate) {
+            for (auto &[id, c] : ckpts) {
+                auto &snap = dst.cls == isa::RegClass::Int
+                    ? c.intMap : c.fpMap;
+                MapEntry &e = snap[dst.idx];
+                if (!e.imm && e.preg == preg) {
+                    if (useCkptRefs() && !c.resolved) {
+                        PRI_ASSERT(info.ckptRefs > 0);
+                        info.ckptRefs -= 1;
+                    }
+                    e = MapEntry::makeImm(value);
+                    stats.scalar("pri.lazyCkptUpdates") += 1;
+                }
+            }
+        }
+
+        info.pendingNarrowFree = true;
+
+        if (cfg.priIdeal && info.consumerRefs > 0) {
+            // Instant associative payload-RAM update: all in-flight
+            // consumers switch to the immediate and drop their
+            // references.
+            PRI_ASSERT(idealHook,
+                       "ideal PRI requires the payload rewrite hook");
+            idealHook(dst.cls, preg, value);
+            PRI_ASSERT(info.consumerRefs == 0,
+                       "ideal payload rewrite left references");
+            stats.scalar("pri.idealPayloadRewrites") += 1;
+        }
+        tryFree(dst.cls, preg);
+    } else if (first_attempt) {
+        // ER may be able to free immediately if already unmapped.
+        tryFree(dst.cls, preg);
+    }
+
+    // Virtual-physical storage claim: needed only if the value
+    // survived the early-free paths above (an inlined-and-freed
+    // value never consumes a physical register at all — the paper's
+    // §6 VP+PRI synergy).
+    if (cfg.virtualPhysical && st.freeList.isAllocated(preg) &&
+        info.gen == gen && !info.holdsStorage) {
+        // Non-privileged writebacks stop short of the reserve; the
+        // oldest unretired instruction may always claim — even past
+        // the nominal budget — as the guaranteed-forward-progress
+        // escape valve (cf. the conflict-resolution mechanisms of
+        // the virtual-physical register papers). Overshoot is
+        // transient and bounded by the commit width.
+        const unsigned limit = cfg.numPhysRegs - cfg.vpReserve;
+        if (!privileged && st.storageUsed >= limit) {
+            stats.scalar("vp.writebackStalls") += 1;
+            return false;
+        }
+        if (st.storageUsed >= cfg.numPhysRegs)
+            stats.scalar("vp.emergencyClaims") += 1;
+        info.holdsStorage = true;
+        st.storageUsed += 1;
+        stats.scalar("vp.storageClaims") += 1;
+    }
+    return true;
+}
+
+void
+RenameUnit::commitDest(isa::RegClass cls, const MapEntry &prev,
+                       uint64_t prev_gen)
+{
+    if (prev.imm) {
+        // The previous mapping was an inlined value: no register to
+        // free (it was freed when the value was inlined).
+        stats.scalar("rename.commitPrevWasImm") += 1;
+        return;
+    }
+    auto &st = state(cls);
+    auto &info = st.pregs[prev.preg];
+    if (!st.freeList.isAllocated(prev.preg) || info.gen != prev_gen) {
+        // Already freed early (and possibly reallocated): the
+        // duplicate deallocation the paper's free list must ignore.
+        stats.scalar("rename.duplicateCommitFrees") += 1;
+        return;
+    }
+    info.pendingCommitFree = true;
+    tryFree(cls, prev.preg);
+    PRI_ASSERT(!st.freeList.isAllocated(prev.preg) ||
+                   info.ckptRefs > 0 || info.consumerRefs > 0 ||
+                   info.mappedBy >= 0,
+               "commit-time free unexpectedly blocked");
+}
+
+void
+RenameUnit::squashDest(isa::RegClass cls, isa::PhysRegId preg,
+                       uint64_t gen)
+{
+    auto &st = state(cls);
+    auto &info = st.pregs[preg];
+    if (!st.freeList.isAllocated(preg) || info.gen != gen) {
+        // Freed early before the squash (narrow value inlined).
+        stats.scalar("rename.squashDuplicateFrees") += 1;
+        return;
+    }
+    PRI_ASSERT(info.mappedBy < 0,
+               "squashed register still mapped after restore");
+    PRI_ASSERT(info.consumerRefs == 0,
+               "squashed register still has consumers");
+    PRI_ASSERT(info.ckptRefs == 0,
+               "squashed register referenced by a live checkpoint");
+    doFree(cls, preg, /*squashed=*/true);
+}
+
+void
+RenameUnit::tryFree(isa::RegClass cls, isa::PhysRegId p)
+{
+    auto &st = state(cls);
+    if (!st.freeList.isAllocated(p))
+        return;
+    auto &info = st.pregs[p];
+    if (info.mappedBy >= 0)
+        return;
+    if (info.ckptRefs > 0)
+        return;
+    if (info.consumerRefs > 0)
+        return;
+
+    // The published ER scheme needs the unmap flag true in every
+    // checkpointed copy; copies live to the commit horizon.
+    const bool er_eligible = cfg.earlyRelease && info.complete &&
+        erCkptHorizonClear(info.erUnmapWatermark);
+    if (!info.pendingNarrowFree && !info.pendingCommitFree &&
+        !er_eligible) {
+        return;
+    }
+
+    if (info.pendingNarrowFree && !info.pendingCommitFree)
+        stats.scalar("pri.earlyFrees") += 1;
+    else if (er_eligible && !info.pendingCommitFree &&
+             !info.pendingNarrowFree)
+        stats.scalar("er.earlyFrees") += 1;
+
+    doFree(cls, p, /*squashed=*/false);
+}
+
+void
+RenameUnit::doFree(isa::RegClass cls, isa::PhysRegId p,
+                   bool squashed)
+{
+    auto &st = state(cls);
+    auto &info = st.pregs[p];
+
+    if (!squashed && info.complete) {
+        // Lifetime phases (paper Figure 1 / Figure 8).
+        const double alloc_to_write =
+            static_cast<double>(info.writeCycle - info.allocCycle);
+        const double write_to_read = info.everRead &&
+                info.lastReadCycle > info.writeCycle
+            ? static_cast<double>(info.lastReadCycle -
+                                  info.writeCycle)
+            : 0.0;
+        const uint64_t live_end =
+            std::max(info.writeCycle,
+                     info.everRead ? info.lastReadCycle : 0);
+        const double read_to_release =
+            now >= live_end ? static_cast<double>(now - live_end)
+                            : 0.0;
+        stats.average("lifetime.allocToWrite").sample(alloc_to_write);
+        stats.average("lifetime.writeToLastRead")
+            .sample(write_to_read);
+        stats.average("lifetime.lastReadToRelease")
+            .sample(read_to_release);
+        stats.average("lifetime.total").sample(
+            alloc_to_write + write_to_read + read_to_release);
+    }
+
+    info.complete = false;
+    info.pendingNarrowFree = false;
+    info.pendingCommitFree = false;
+    info.everRead = false;
+    if (info.holdsStorage) {
+        PRI_ASSERT(st.storageUsed > 0);
+        st.storageUsed -= 1;
+        info.holdsStorage = false;
+    }
+    const bool freed = st.freeList.free(p);
+    PRI_ASSERT(freed, "double free must be filtered before doFree");
+    stats.scalar("rename.frees") += 1;
+}
+
+const MapEntry &
+RenameUnit::mapEntry(isa::RegId reg) const
+{
+    return state(reg.cls).map.read(reg.idx);
+}
+
+uint64_t
+RenameUnit::physRegValue(isa::RegClass cls, isa::PhysRegId p) const
+{
+    return state(cls).pregs.at(p).value;
+}
+
+unsigned
+RenameUnit::occupancy(isa::RegClass cls) const
+{
+    return state(cls).freeList.numAllocated();
+}
+
+unsigned
+RenameUnit::storageInUse(isa::RegClass cls) const
+{
+    return state(cls).storageUsed;
+}
+
+bool
+RenameUnit::isAllocated(isa::RegClass cls, isa::PhysRegId p) const
+{
+    return state(cls).freeList.isAllocated(p);
+}
+
+int
+RenameUnit::consumerRefs(isa::RegClass cls, isa::PhysRegId p) const
+{
+    return state(cls).pregs.at(p).consumerRefs;
+}
+
+int
+RenameUnit::ckptRefs(isa::RegClass cls, isa::PhysRegId p) const
+{
+    return state(cls).pregs.at(p).ckptRefs;
+}
+
+void
+RenameUnit::checkInvariants() const
+{
+    for (auto cls : {isa::RegClass::Int, isa::RegClass::Fp}) {
+        const auto &st = state(cls);
+        unsigned mapped = 0;
+        for (unsigned i = 0; i < isa::kNumLogicalRegs; ++i) {
+            const MapEntry &e = st.map.read(i);
+            if (e.imm)
+                continue;
+            ++mapped;
+            PRI_ASSERT(st.freeList.isAllocated(e.preg),
+                       "map names a free register");
+            PRI_ASSERT(st.pregs[e.preg].mappedBy ==
+                           static_cast<int16_t>(i),
+                       "mappedBy inconsistent with map");
+        }
+        unsigned mapped_by = 0;
+        for (unsigned p = 0; p < st.pregs.size(); ++p) {
+            const auto &info = st.pregs[p];
+            PRI_ASSERT(info.consumerRefs >= 0);
+            PRI_ASSERT(info.ckptRefs >= 0);
+            if (info.mappedBy >= 0)
+                ++mapped_by;
+            if (!st.freeList.isAllocated(
+                    static_cast<isa::PhysRegId>(p))) {
+                PRI_ASSERT(info.mappedBy < 0,
+                           "free register is mapped");
+                PRI_ASSERT(info.consumerRefs == 0,
+                           "free register has consumers");
+            }
+        }
+        PRI_ASSERT(mapped == mapped_by,
+                   "map/mappedBy cardinality mismatch");
+        unsigned holding = 0;
+        for (unsigned p = 0; p < st.pregs.size(); ++p)
+            holding += st.pregs[p].holdsStorage ? 1 : 0;
+        PRI_ASSERT(holding == st.storageUsed,
+                   "storage accounting mismatch");
+        PRI_ASSERT(!cfg.virtualPhysical ||
+                       st.storageUsed <= cfg.numPhysRegs + 16,
+                   "VP storage far over budget");
+    }
+}
+
+} // namespace pri::rename

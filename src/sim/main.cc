@@ -1,0 +1,110 @@
+/**
+ * @file
+ * pri_sim: command-line driver for single simulations.
+ *
+ * Usage:
+ *   pri_sim [-b benchmark] [-w width] [-s scheme] [-p pregs]
+ *           [-n measureInsts] [-u warmupInsts] [-v]
+ *
+ * Schemes: base er pri pri-lazy pri-ideal pri-ideal-lazy pri-er inf
+ *          vp vp-pri
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+pri::sim::Scheme
+parseScheme(const std::string &s)
+{
+    using pri::sim::Scheme;
+    if (s == "base") return Scheme::Base;
+    if (s == "er") return Scheme::EarlyRelease;
+    if (s == "pri") return Scheme::PriRefcountCkptcount;
+    if (s == "pri-lazy") return Scheme::PriRefcountLazy;
+    if (s == "pri-ideal") return Scheme::PriIdealCkptcount;
+    if (s == "pri-ideal-lazy") return Scheme::PriIdealLazy;
+    if (s == "pri-er") return Scheme::PriPlusEr;
+    if (s == "inf") return Scheme::InfinitePregs;
+    if (s == "vp") return Scheme::VirtualPhysical;
+    if (s == "vp-pri") return Scheme::VirtualPhysicalPlusPri;
+    pri::fatal("unknown scheme '{}'", s);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pri::sim::RunParams p;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                pri::fatal("missing value for {}", a);
+            return argv[++i];
+        };
+        if (a == "-b") {
+            p.benchmark = next();
+        } else if (a == "-w") {
+            p.width = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "-s") {
+            p.scheme = parseScheme(next());
+        } else if (a == "-p") {
+            p.physRegs = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "-n") {
+            p.measureInsts =
+                static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "-u") {
+            p.warmupInsts =
+                static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "-S") {
+            p.seed = static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "-v") {
+            verbose = true;
+        } else if (a == "-l" || a == "--list") {
+            for (const auto &prof : pri::workload::allProfiles())
+                std::printf("%s\n", prof.name.c_str());
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "usage: pri_sim [-b bench] [-w width] "
+                         "[-s scheme] [-p pregs] [-n insts] "
+                         "[-u warmup] [-v] [-l]\n");
+            return 1;
+        }
+    }
+
+    p.checkInvariants = true;
+    const auto r = pri::sim::simulate(p);
+
+    std::printf("benchmark %s  width %u  scheme %s  pregs %u\n",
+                r.benchmark.c_str(), r.width, r.scheme.c_str(),
+                p.physRegs);
+    std::printf("IPC %.4f  (insts %llu, cycles %llu)\n", r.ipc,
+                static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("occupancy INT %.1f  FP %.1f\n", r.avgIntOccupancy,
+                r.avgFpOccupancy);
+    std::printf("lifetime  alloc->write %.1f  write->lastread %.1f  "
+                "lastread->release %.1f\n",
+                r.lifeAllocToWrite, r.lifeWriteToLastRead,
+                r.lifeLastReadToRelease);
+    std::printf("mispredict/branch %.4f  dl1 miss %.4f  "
+                "inlined %.3f\n",
+                r.branchMispredictRate, r.dl1MissRate,
+                r.inlinedFrac);
+    if (verbose)
+        std::printf("\n%s", r.report.c_str());
+    return 0;
+}

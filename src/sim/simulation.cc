@@ -1,0 +1,149 @@
+#include "simulation.hh"
+
+#include "common/logging.hh"
+#include "workload/program.hh"
+
+namespace pri::sim
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Base: return "Base";
+      case Scheme::EarlyRelease: return "ER";
+      case Scheme::PriRefcountCkptcount:
+        return "PRI-refcount+ckptcount";
+      case Scheme::PriRefcountLazy: return "PRI-refcount+lazy";
+      case Scheme::PriIdealCkptcount: return "PRI-ideal+ckptcount";
+      case Scheme::PriIdealLazy: return "PRI-ideal+lazy";
+      case Scheme::PriPlusEr: return "PRI+ER";
+      case Scheme::InfinitePregs: return "InfPR";
+      case Scheme::VirtualPhysical: return "VP";
+      case Scheme::VirtualPhysicalPlusPri: return "VP+PRI";
+    }
+    return "?";
+}
+
+rename::RenameConfig
+makeRenameConfig(Scheme scheme, unsigned pregs, unsigned narrow_bits)
+{
+    using rename::RenameConfig;
+    switch (scheme) {
+      case Scheme::Base:
+        return RenameConfig::base(pregs, narrow_bits);
+      case Scheme::EarlyRelease:
+        return RenameConfig::er(pregs, narrow_bits);
+      case Scheme::PriRefcountCkptcount:
+        return RenameConfig::priRefcountCkptcount(pregs,
+                                                  narrow_bits);
+      case Scheme::PriRefcountLazy:
+        return RenameConfig::priRefcountLazy(pregs, narrow_bits);
+      case Scheme::PriIdealCkptcount:
+        return RenameConfig::priIdealCkptcount(pregs, narrow_bits);
+      case Scheme::PriIdealLazy:
+        return RenameConfig::priIdealLazy(pregs, narrow_bits);
+      case Scheme::PriPlusEr:
+        return RenameConfig::priPlusEr(pregs, narrow_bits);
+      case Scheme::InfinitePregs:
+        return RenameConfig::infinite(narrow_bits);
+      case Scheme::VirtualPhysical:
+        return RenameConfig::virtualPhys(pregs, narrow_bits);
+      case Scheme::VirtualPhysicalPlusPri:
+        return RenameConfig::virtualPhysPlusPri(pregs, narrow_bits);
+    }
+    fatal("unknown scheme");
+}
+
+RunResult
+simulate(const RunParams &params)
+{
+    const auto &profile = workload::profileByName(params.benchmark);
+    workload::SyntheticProgram program(profile, params.seed);
+
+    const unsigned narrow =
+        core::CoreConfig::narrowBitsForWidth(params.width);
+    const auto rn_cfg =
+        makeRenameConfig(params.scheme, params.physRegs, narrow);
+    const core::CoreConfig cfg = params.width >= 8
+        ? core::CoreConfig::eightWide(rn_cfg)
+        : core::CoreConfig::fourWide(rn_cfg);
+
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, program, stats);
+
+    cpu.run(params.warmupInsts);
+    cpu.beginMeasurement();
+    const uint64_t c0 = cpu.cycles();
+    const uint64_t i0 = cpu.committedInsts();
+
+    // Re-zero event counters so rates reflect the window only.
+    const double mp0 = stats.scalarValue("core.branchMispredicts");
+    const double br0 = stats.scalarValue("core.committedBranches");
+    const double pf0 = stats.scalarValue("pri.earlyFrees");
+    const double ef0 = stats.scalarValue("er.earlyFrees");
+    const double nw0 = stats.scalarValue("pri.narrowResultsInt") +
+        stats.scalarValue("pri.narrowResultsFp");
+    const double da0 = stats.scalarValue("rename.destAllocs");
+
+    cpu.run(params.measureInsts);
+
+    if (params.checkInvariants)
+        cpu.checkInvariants();
+
+    RunResult r;
+    r.benchmark = params.benchmark;
+    r.scheme = schemeName(params.scheme);
+    r.width = params.width;
+    r.cycles = cpu.cycles() - c0;
+    r.insts = cpu.committedInsts() - i0;
+    r.ipc = cpu.ipc();
+    r.avgIntOccupancy = cpu.avgIntOccupancy();
+    r.avgFpOccupancy = cpu.avgFpOccupancy();
+
+    r.lifeAllocToWrite =
+        stats.average("lifetime.allocToWrite").mean();
+    r.lifeWriteToLastRead =
+        stats.average("lifetime.writeToLastRead").mean();
+    r.lifeLastReadToRelease =
+        stats.average("lifetime.lastReadToRelease").mean();
+
+    const double branches =
+        stats.scalarValue("core.committedBranches") - br0;
+    r.branchMispredictRate = branches > 0
+        ? (stats.scalarValue("core.branchMispredicts") - mp0) /
+            branches
+        : 0.0;
+
+    const double dl1_total = static_cast<double>(
+        cpu.memory().dl1().hits() + cpu.memory().dl1().misses());
+    r.dl1MissRate = dl1_total > 0
+        ? cpu.memory().dl1().misses() / dl1_total
+        : 0.0;
+
+    const double insts_k = static_cast<double>(r.insts) / 1000.0;
+    r.priEarlyFrees = insts_k > 0
+        ? (stats.scalarValue("pri.earlyFrees") - pf0) / insts_k
+        : 0.0;
+    r.erEarlyFrees = insts_k > 0
+        ? (stats.scalarValue("er.earlyFrees") - ef0) / insts_k
+        : 0.0;
+
+    const double dests = stats.scalarValue("rename.destAllocs") - da0;
+    const double narrow_n =
+        stats.scalarValue("pri.narrowResultsInt") +
+        stats.scalarValue("pri.narrowResultsFp") - nw0;
+    r.inlinedFrac = dests > 0 ? narrow_n / dests : 0.0;
+
+    r.report = stats.report("  ");
+    return r;
+}
+
+double
+speedupOver(const RunResult &result, const RunResult &base)
+{
+    PRI_ASSERT(base.ipc > 0.0);
+    return result.ipc / base.ipc;
+}
+
+} // namespace pri::sim

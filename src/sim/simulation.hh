@@ -1,0 +1,109 @@
+/**
+ * @file
+ * High-level simulation driver: the public API that examples and
+ * benches use. One call = one benchmark × one machine width × one
+ * register-management scheme × one register-file size, with warmup
+ * and a measurement window, returning the metrics the paper reports.
+ */
+
+#ifndef PRI_SIM_SIMULATION_HH
+#define PRI_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/core.hh"
+#include "workload/profile.hh"
+
+namespace pri::sim
+{
+
+/** The register-management schemes evaluated in paper §5. */
+enum class Scheme
+{
+    Base,
+    EarlyRelease,
+    PriRefcountCkptcount,
+    PriRefcountLazy,
+    PriIdealCkptcount,
+    PriIdealLazy,
+    PriPlusEr,
+    InfinitePregs,
+    /** §6 future work: delayed (virtual-physical) allocation. */
+    VirtualPhysical,
+    /** §6 future work: VP combined with PRI. */
+    VirtualPhysicalPlusPri,
+};
+
+/** Short display name matching the paper's figure legends. */
+const char *schemeName(Scheme scheme);
+
+/** All schemes in figure order (Fig 10 / Fig 12 legends). */
+constexpr Scheme kAllSchemes[] = {
+    Scheme::Base,
+    Scheme::EarlyRelease,
+    Scheme::PriRefcountCkptcount,
+    Scheme::PriRefcountLazy,
+    Scheme::PriIdealCkptcount,
+    Scheme::PriIdealLazy,
+    Scheme::PriPlusEr,
+    Scheme::InfinitePregs,
+};
+
+/** Build a rename configuration for a scheme. */
+rename::RenameConfig makeRenameConfig(Scheme scheme, unsigned pregs,
+                                      unsigned narrow_bits);
+
+/** One simulation request. */
+struct RunParams
+{
+    std::string benchmark = "gzip";
+    unsigned width = 4;           ///< 4 or 8 (Table 1 presets)
+    Scheme scheme = Scheme::Base;
+    unsigned physRegs = 64;       ///< per class; ignored for InfPR
+    uint64_t warmupInsts = 30000;
+    uint64_t measureInsts = 100000;
+    uint64_t seed = 42;
+    bool checkInvariants = false; ///< run invariant checks at end
+};
+
+/** Headline metrics of one run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string scheme;
+    unsigned width = 0;
+    double ipc = 0.0;
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+
+    double avgIntOccupancy = 0.0;
+    double avgFpOccupancy = 0.0;
+
+    // Register lifetime phases (paper Figures 1 and 8), in cycles.
+    double lifeAllocToWrite = 0.0;
+    double lifeWriteToLastRead = 0.0;
+    double lifeLastReadToRelease = 0.0;
+
+    double branchMispredictRate = 0.0; ///< per committed branch
+    double dl1MissRate = 0.0;
+    double priEarlyFrees = 0.0;        ///< per 1k committed insts
+    double erEarlyFrees = 0.0;         ///< per 1k committed insts
+    double inlinedFrac = 0.0;          ///< narrow results / dests
+
+    /** Full stat report (for verbose output). */
+    std::string report;
+};
+
+/** Run one simulation. */
+RunResult simulate(const RunParams &params);
+
+/**
+ * Speedup helper: IPC(scheme) / IPC(base) on the same benchmark,
+ * width, and register count.
+ */
+double speedupOver(const RunResult &result, const RunResult &base);
+
+} // namespace pri::sim
+
+#endif // PRI_SIM_SIMULATION_HH

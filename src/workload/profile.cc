@@ -1,0 +1,461 @@
+#include "profile.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pri::workload
+{
+
+WidthCdf::WidthCdf(const WidthPoints &points)
+{
+    PRI_ASSERT(!points.empty());
+    cdf[0] = 0.0;
+    // Piecewise-linear interpolation between control points, with an
+    // implicit (0, 0) start. The final point must reach 1.0 at 64.
+    unsigned prev_b = 0;
+    double prev_f = 0.0;
+    size_t pi = 0;
+    for (unsigned b = 1; b <= 64; ++b) {
+        while (pi < points.size() && points[pi].first < b) {
+            prev_b = points[pi].first;
+            prev_f = points[pi].second;
+            ++pi;
+        }
+        if (pi >= points.size()) {
+            cdf[b] = 1.0;
+            continue;
+        }
+        const unsigned nb = points[pi].first;
+        const double nf = points[pi].second;
+        if (nb == b) {
+            cdf[b] = nf;
+        } else {
+            const double t = static_cast<double>(b - prev_b) /
+                static_cast<double>(nb - prev_b);
+            cdf[b] = prev_f + t * (nf - prev_f);
+        }
+    }
+    cdf[64] = 1.0;
+    for (unsigned b = 1; b <= 64; ++b)
+        PRI_ASSERT(cdf[b] + 1e-12 >= cdf[b - 1],
+                   "width CDF must be non-decreasing");
+}
+
+double
+WidthCdf::at(unsigned bits) const
+{
+    return cdf[std::min<unsigned>(bits, 64)];
+}
+
+unsigned
+WidthCdf::sample(double u) const
+{
+    // Smallest width whose cumulative fraction exceeds u.
+    for (unsigned b = 1; b <= 64; ++b) {
+        if (u < cdf[b])
+            return b;
+    }
+    return 64;
+}
+
+namespace
+{
+
+/** Base template for SPECint-like profiles. */
+BenchmarkProfile
+intBase(const std::string &name)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = Suite::Int;
+    return p;
+}
+
+/** Base template for SPECfp-like profiles. */
+BenchmarkProfile
+fpBase(const std::string &name)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = Suite::Fp;
+    p.fracLoad = 0.28;
+    p.fracStore = 0.10;
+    p.fracBranch = 0.08;
+    p.fracFpAdd = 0.22;
+    p.fracFpMult = 0.16;
+    p.fracFpDiv = 0.005;
+    p.branchEasyFrac = 0.94;      // FP loops are very predictable
+    p.loopBackProb = 0.55;
+    p.loopTakenBias = 0.96;
+    p.randomAccessFrac = 0.05;    // mostly unit-stride array sweeps
+    p.chainedLoadFrac = 0.01;
+    p.depLocality = 0.16;
+    p.widthPoints = {{1, 0.22}, {4, 0.38}, {8, 0.55}, {12, 0.66},
+                     {16, 0.75}, {32, 0.92}, {64, 1.0}};
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildIntProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {   // bzip2: compression, narrow byte-oriented values, small WS.
+        auto p = intBase("bzip2");
+        p.widthPoints = {{1, 0.20}, {4, 0.38}, {8, 0.62}, {12, 0.74},
+                         {16, 0.82}, {32, 0.96}, {64, 1.0}};
+        p.workingSetBytes = 320 * 1024;
+        p.branchEasyFrac = 0.85;
+        p.depLocality = 0.13;
+        p.paperIpc4 = 1.62; p.paperIpc8 = 1.67;
+        p.randomAccessFrac = 0.03;
+        v.push_back(p);
+    }
+    {   // crafty: chess bitboards -> wide 64-bit operands (paper's
+        // worst case ~23% under 10 bits), cache friendly.
+        auto p = intBase("crafty");
+        p.widthPoints = {{1, 0.07}, {4, 0.11}, {8, 0.18}, {12, 0.27},
+                         {16, 0.34}, {32, 0.52}, {48, 0.68},
+                         {64, 1.0}};
+        p.workingSetBytes = 192 * 1024;
+        p.branchEasyFrac = 0.76;
+        p.branchCorrelatedFrac = 0.60;
+        p.depLocality = 0.20;
+        p.paperIpc4 = 1.35; p.paperIpc8 = 1.40;
+        p.randomAccessFrac = 0.05;
+        v.push_back(p);
+    }
+    {   // eon: C++ ray tracer; some FP mixed in, very predictable.
+        auto p = intBase("eon");
+        p.fracFpAdd = 0.08;
+        p.fracFpMult = 0.06;
+        p.fracBranch = 0.11;
+        p.widthPoints = {{1, 0.12}, {4, 0.22}, {8, 0.34}, {12, 0.44},
+                         {16, 0.54}, {32, 0.82}, {64, 1.0}};
+        p.fpFracZero = 0.30;
+        p.workingSetBytes = 96 * 1024;
+        p.branchEasyFrac = 0.93;
+        p.depLocality = 0.10;
+        p.paperIpc4 = 1.81; p.paperIpc8 = 2.11;
+        p.randomAccessFrac = 0.02;
+        v.push_back(p);
+    }
+    {   // gap: group theory, mixed widths, multiplies.
+        auto p = intBase("gap");
+        p.fracIntMult = 0.03;
+        p.widthPoints = {{1, 0.18}, {4, 0.32}, {8, 0.48}, {12, 0.60},
+                         {16, 0.70}, {32, 0.90}, {64, 1.0}};
+        p.workingSetBytes = 384 * 1024;
+        p.branchEasyFrac = 0.84;
+        p.paperIpc4 = 1.55; p.paperIpc8 = 1.59;
+        p.randomAccessFrac = 0.04;
+        p.depLocality = 0.12;
+        v.push_back(p);
+    }
+    {   // gcc: branchy, large code footprint, mid-narrow values.
+        auto p = intBase("gcc");
+        p.fracBranch = 0.20;
+        p.widthPoints = {{1, 0.20}, {4, 0.33}, {8, 0.45}, {12, 0.55},
+                         {16, 0.64}, {32, 0.88}, {64, 1.0}};
+        p.workingSetBytes = 640 * 1024;
+        p.branchEasyFrac = 0.76;
+        p.branchCorrelatedFrac = 0.45;
+        p.numFunctions = 24;
+        p.blocksPerFunction = 20;
+        p.paperIpc4 = 1.16; p.paperIpc8 = 1.23;
+        p.randomAccessFrac = 0.08;
+        p.depLocality = 0.18;
+        v.push_back(p);
+    }
+    {   // gzip: compression; paper's best case (~82% under 10 bits).
+        auto p = intBase("gzip");
+        p.widthPoints = {{1, 0.30}, {4, 0.52}, {8, 0.74}, {12, 0.85},
+                         {16, 0.90}, {32, 0.98}, {64, 1.0}};
+        p.workingSetBytes = 256 * 1024;
+        p.branchEasyFrac = 0.84;
+        p.paperIpc4 = 1.51; p.paperIpc8 = 1.54;
+        p.randomAccessFrac = 0.03;
+        p.depLocality = 0.12;
+        v.push_back(p);
+    }
+    {   // mcf: pointer-chasing over a graph far larger than L2.
+        auto p = intBase("mcf");
+        p.fracLoad = 0.32;
+        p.widthPoints = {{1, 0.28}, {4, 0.48}, {8, 0.70}, {12, 0.82},
+                         {16, 0.88}, {32, 0.97}, {64, 1.0}};
+        p.workingSetBytes = 24ull * 1024 * 1024;
+        p.randomAccessFrac = 0.50;
+        p.chainedLoadFrac = 0.10;
+        p.branchEasyFrac = 0.74;
+        p.depLocality = 0.35;
+        p.paperIpc4 = 0.36; p.paperIpc8 = 0.37;
+        p.chainCount = 6;
+        v.push_back(p);
+    }
+    {   // parser: dictionary lookups, hard branches, mid WS.
+        auto p = intBase("parser");
+        p.fracBranch = 0.19;
+        p.widthPoints = {{1, 0.22}, {4, 0.36}, {8, 0.50}, {12, 0.60},
+                         {16, 0.68}, {32, 0.90}, {64, 1.0}};
+        p.workingSetBytes = 768 * 1024;
+        p.randomAccessFrac = 0.08;
+        p.chainedLoadFrac = 0.05;
+        p.branchEasyFrac = 0.68;
+        p.branchCorrelatedFrac = 0.40;
+        p.paperIpc4 = 0.98; p.paperIpc8 = 1.00;
+        p.depLocality = 0.18;
+        v.push_back(p);
+    }
+    {   // perlbmk: interpreter dispatch, branchy, indirect-ish.
+        auto p = intBase("perlbmk");
+        p.fracBranch = 0.21;
+        p.widthPoints = {{1, 0.16}, {4, 0.28}, {8, 0.42}, {12, 0.52},
+                         {16, 0.62}, {32, 0.86}, {64, 1.0}};
+        p.workingSetBytes = 512 * 1024;
+        p.branchEasyFrac = 0.75;
+        p.branchCorrelatedFrac = 0.50;
+        p.numFunctions = 20;
+        p.paperIpc4 = 1.15; p.paperIpc8 = 1.21;
+        p.randomAccessFrac = 0.06;
+        p.depLocality = 0.16;
+        v.push_back(p);
+    }
+    {   // twolf: place & route; random-ish pointer access, mid WS.
+        auto p = intBase("twolf");
+        p.widthPoints = {{1, 0.18}, {4, 0.32}, {8, 0.48}, {12, 0.58},
+                         {16, 0.68}, {32, 0.90}, {64, 1.0}};
+        p.workingSetBytes = 512 * 1024;
+        p.randomAccessFrac = 0.08;
+        p.chainedLoadFrac = 0.04;
+        p.branchEasyFrac = 0.72;
+        p.paperIpc4 = 1.17; p.paperIpc8 = 1.22;
+        p.depLocality = 0.18;
+        v.push_back(p);
+    }
+    {   // vortex: OO database; stores-heavy, predictable branches.
+        auto p = intBase("vortex");
+        p.fracStore = 0.18;
+        p.widthPoints = {{1, 0.15}, {4, 0.27}, {8, 0.42}, {12, 0.52},
+                         {16, 0.62}, {32, 0.88}, {64, 1.0}};
+        p.workingSetBytes = 384 * 1024;
+        p.branchEasyFrac = 0.88;
+        p.paperIpc4 = 1.40; p.paperIpc8 = 1.52;
+        p.randomAccessFrac = 0.03;
+        p.depLocality = 0.14;
+        v.push_back(p);
+    }
+    {   // vpr (reduced input): small working set.
+        auto p = intBase("vpr");
+        p.widthPoints = {{1, 0.20}, {4, 0.34}, {8, 0.50}, {12, 0.60},
+                         {16, 0.70}, {32, 0.92}, {64, 1.0}};
+        p.workingSetBytes = 256 * 1024;
+        p.branchEasyFrac = 0.76;
+        p.paperIpc4 = 1.36; p.paperIpc8 = 1.42;
+        p.randomAccessFrac = 0.07;
+        p.depLocality = 0.18;
+        v.push_back(p);
+    }
+    {   // vpr_ref: reference input; working set spills out of L2.
+        auto p = intBase("vpr_ref");
+        p.widthPoints = {{1, 0.20}, {4, 0.34}, {8, 0.50}, {12, 0.60},
+                         {16, 0.70}, {32, 0.92}, {64, 1.0}};
+        p.workingSetBytes = 6ull * 1024 * 1024;
+        p.randomAccessFrac = 0.15;
+        p.chainedLoadFrac = 0.08;
+        p.branchEasyFrac = 0.72;
+        p.paperIpc4 = 0.63; p.paperIpc8 = 0.64;
+        p.depLocality = 0.26;
+        p.chainCount = 3;
+        v.push_back(p);
+    }
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+buildFpProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {   // ammp: molecular dynamics w/ pointer lists; paper IPC 0.06:
+        // serialised memory-bound chains missing all the way out.
+        auto p = fpBase("ammp");
+        p.fracLoad = 0.34;
+        p.workingSetBytes = 48ull * 1024 * 1024;
+        p.randomAccessFrac = 0.85;
+        p.chainedLoadFrac = 0.75;
+        p.depLocality = 0.85;
+        p.fpFracZero = 0.40;
+        p.paperIpc4 = 0.06; p.paperIpc8 = 0.06;
+        p.chainCount = 1;
+        v.push_back(p);
+    }
+    {   // applu: dense solver, unit stride, high ILP.
+        auto p = fpBase("applu");
+        p.workingSetBytes = 1024 * 1024;
+        p.fpFracZero = 0.45;
+        p.depLocality = 0.07;
+        p.paperIpc4 = 2.05; p.paperIpc8 = 2.20;
+        p.randomAccessFrac = 0.02;
+        v.push_back(p);
+    }
+    {   // apsi: meteorology; moderate WS and ILP.
+        auto p = fpBase("apsi");
+        p.workingSetBytes = 2048 * 1024;
+        p.fpFracZero = 0.50;
+        p.depLocality = 0.18;
+        p.paperIpc4 = 1.37; p.paperIpc8 = 1.50;
+        p.randomAccessFrac = 0.04;
+        v.push_back(p);
+    }
+    {   // art: neural net over big arrays; memory bound.
+        auto p = fpBase("art");
+        p.fracLoad = 0.33;
+        p.workingSetBytes = 16ull * 1024 * 1024;
+        p.randomAccessFrac = 0.30;
+        p.chainedLoadFrac = 0.12;
+        p.depLocality = 0.40;
+        p.fpFracZero = 0.86;     // paper best case: mostly zeroes
+        p.paperIpc4 = 0.37; p.paperIpc8 = 0.38;
+        p.chainCount = 3;
+        v.push_back(p);
+    }
+    {   // equake: sparse matrix; high IPC in paper.
+        auto p = fpBase("equake");
+        p.workingSetBytes = 768 * 1024;
+        p.fpFracZero = 0.55;
+        p.depLocality = 0.06;
+        p.paperIpc4 = 2.28; p.paperIpc8 = 2.38;
+        p.randomAccessFrac = 0.02;
+        v.push_back(p);
+    }
+    {   // facerec: image processing; moderate.
+        auto p = fpBase("facerec");
+        p.workingSetBytes = 2048 * 1024;
+        p.fpFracZero = 0.45;
+        p.depLocality = 0.18;
+        p.paperIpc4 = 1.35; p.paperIpc8 = 1.41;
+        p.randomAccessFrac = 0.04;
+        v.push_back(p);
+    }
+    {   // fma3d: crash simulation; good ILP.
+        auto p = fpBase("fma3d");
+        p.workingSetBytes = 1024 * 1024;
+        p.fpFracZero = 0.50;
+        p.depLocality = 0.08;
+        p.paperIpc4 = 1.91; p.paperIpc8 = 1.94;
+        p.randomAccessFrac = 0.02;
+        v.push_back(p);
+    }
+    {   // galgel: fluid dynamics; L2-thrashing working set.
+        auto p = fpBase("galgel");
+        p.workingSetBytes = 8ull * 1024 * 1024;
+        p.randomAccessFrac = 0.12;
+        p.chainedLoadFrac = 0.08;
+        p.depLocality = 0.35;
+        p.fpFracZero = 0.55;
+        p.paperIpc4 = 0.65; p.paperIpc8 = 0.66;
+        p.chainCount = 2;
+        v.push_back(p);
+    }
+    {   // lucas: number theory FFT; very regular, high IPC.
+        auto p = fpBase("lucas");
+        p.workingSetBytes = 512 * 1024;
+        p.fpFracZero = 0.60;
+        p.depLocality = 0.05;
+        p.paperIpc4 = 2.29; p.paperIpc8 = 2.43;
+        p.randomAccessFrac = 0.02;
+        v.push_back(p);
+    }
+    {   // mesa: software rendering; int/fp mix.
+        auto p = fpBase("mesa");
+        p.fracFpAdd = 0.14;
+        p.fracFpMult = 0.10;
+        p.fracBranch = 0.12;
+        p.workingSetBytes = 512 * 1024;
+        p.fpFracZero = 0.35;
+        p.depLocality = 0.07;
+        p.paperIpc4 = 1.97; p.paperIpc8 = 2.08;
+        p.randomAccessFrac = 0.03;
+        p.branchEasyFrac = 0.92;
+        v.push_back(p);
+    }
+    {   // mgrid: multigrid stencil; regular strides.
+        auto p = fpBase("mgrid");
+        p.workingSetBytes = 3ull * 1024 * 1024;
+        p.fpFracZero = 0.50;
+        p.depLocality = 0.12;
+        p.paperIpc4 = 1.54; p.paperIpc8 = 1.59;
+        p.randomAccessFrac = 0.04;
+        v.push_back(p);
+    }
+    {   // sixtrack: particle tracking; low zero fraction (paper's
+        // worst FP inlining case).
+        auto p = fpBase("sixtrack");
+        p.workingSetBytes = 1024 * 1024;
+        p.fpFracZero = 0.23;
+        p.depLocality = 0.18;
+        p.paperIpc4 = 1.38; p.paperIpc8 = 1.44;
+        p.randomAccessFrac = 0.04;
+        v.push_back(p);
+    }
+    {   // swim: shallow water stencil; streaming.
+        auto p = fpBase("swim");
+        p.workingSetBytes = 2048 * 1024;
+        p.fpFracZero = 0.55;
+        p.depLocality = 0.07;
+        p.paperIpc4 = 1.86; p.paperIpc8 = 1.99;
+        p.randomAccessFrac = 0.03;
+        v.push_back(p);
+    }
+    {   // wupwise: lattice QCD; dense linear algebra.
+        auto p = fpBase("wupwise");
+        p.workingSetBytes = 1536 * 1024;
+        p.fpFracZero = 0.45;
+        p.depLocality = 0.07;
+        p.paperIpc4 = 1.83; p.paperIpc8 = 1.86;
+        p.randomAccessFrac = 0.03;
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+specIntProfiles()
+{
+    static const std::vector<BenchmarkProfile> v = buildIntProfiles();
+    return v;
+}
+
+const std::vector<BenchmarkProfile> &
+specFpProfiles()
+{
+    static const std::vector<BenchmarkProfile> v = buildFpProfiles();
+    return v;
+}
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> v = [] {
+        std::vector<BenchmarkProfile> all = specIntProfiles();
+        const auto &fp = specFpProfiles();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return v;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile '{}'", name);
+}
+
+} // namespace pri::workload

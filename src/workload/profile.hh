@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Benchmark profiles: the per-benchmark parameter sets that make the
+ * synthetic workloads SPEC2000-like (DESIGN.md §5 substitution).
+ *
+ * Each profile controls instruction mix, operand significance (the
+ * property PRI exploits, calibrated to paper Figure 2), branch
+ * predictability, memory working sets, and dependence structure
+ * (which together set the base IPC near paper Table 2).
+ */
+
+#ifndef PRI_WORKLOAD_PROFILE_HH
+#define PRI_WORKLOAD_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pri::workload
+{
+
+/** Which SPEC2000 suite a profile imitates. */
+enum class Suite
+{
+    Int,
+    Fp,
+};
+
+/**
+ * Control points of the integer operand-significance CDF:
+ * (bits, cumulative fraction of operands representable in <= bits).
+ * The full 64-entry CDF is produced by linear interpolation.
+ */
+using WidthPoints = std::vector<std::pair<unsigned, double>>;
+
+/** All knobs describing one SPEC2000-like benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    Suite suite = Suite::Int;
+
+    // ---- instruction mix (fractions of the dynamic stream; the
+    //      remainder after all classes is IntAlu) ----
+    double fracLoad = 0.25;
+    double fracStore = 0.12;
+    double fracBranch = 0.16;
+    double fracIntMult = 0.01;
+    double fracIntDiv = 0.001;
+    double fracFpAdd = 0.0;
+    double fracFpMult = 0.0;
+    double fracFpDiv = 0.0;
+
+    // ---- operand significance ----
+    /** Integer result-width CDF control points. */
+    WidthPoints widthPoints;
+    /** Probability a generated integer value is negative. */
+    double fracNegative = 0.12;
+    /** Fraction of FP values that are exactly all-zero (inlineable). */
+    double fpFracZero = 0.45;
+    /** Of the non-zero FP values, fraction with trivial significand
+     *  (e.g. small integral constants like 1.0, 2.0). */
+    double fpFracSigTrivialNonZero = 0.15;
+
+    // ---- branch behaviour ----
+    /** Fraction of static conditional branches that are strongly
+     *  biased (easy for bimodal). */
+    double branchEasyFrac = 0.75;
+    /** Fraction of hard-branch instances whose outcome is a pure
+     *  function of recent global history (learnable by gshare). */
+    double branchCorrelatedFrac = 0.55;
+    /** Probability a conditional terminator is a loop back-edge. */
+    double loopBackProb = 0.35;
+    /** Mean loop trip bias for back edges (taken probability). */
+    double loopTakenBias = 0.93;
+
+    // ---- memory behaviour ----
+    /** Data working-set size in bytes (drives DL1/L2/memory misses). */
+    uint64_t workingSetBytes = 256 * 1024;
+    /** Fraction of memory streams with random (vs strided) access. */
+    double randomAccessFrac = 0.3;
+    /** Fraction of loads that feed another load's address
+     *  (pointer-chasing; serialises execution). */
+    double chainedLoadFrac = 0.05;
+    /** Number of independent pointer-chase chains per function;
+     *  more chains = more memory-level parallelism. */
+    unsigned chainCount = 2;
+
+    // ---- dependence / ILP structure ----
+    /** Probability a source register is one of the most recently
+     *  written registers (short dependence chains). */
+    double depLocality = 0.45;
+    /** Window of recent destinations considered "recent". */
+    unsigned depWindow = 4;
+
+    // ---- software dead-value hints (paper §6 future work) ----
+    /** Probability that a basic block ends with a compiler-inserted
+     *  "load-immediate 0" to a dead register. With PRI, the zero
+     *  inlines into the map and the dead register is freed without
+     *  any ISA change (the paper's binary-compatible liveness
+     *  communication). Zero for all SPEC-like profiles. */
+    double deadHintFrac = 0.0;
+
+    // ---- program shape ----
+    unsigned numFunctions = 16;
+    unsigned blocksPerFunction = 20;
+    // Mean basic-block body length is derived from fracBranch:
+    // (1 - fracBranch) / fracBranch non-branch instructions per block.
+
+    // ---- base IPC the paper reports (for EXPERIMENTS.md only) ----
+    double paperIpc4 = 0.0;
+    double paperIpc8 = 0.0;
+};
+
+/** Dense 1..64-bit cumulative width distribution. */
+class WidthCdf
+{
+  public:
+    WidthCdf() = default;
+    /** Build the dense CDF from control points. */
+    explicit WidthCdf(const WidthPoints &points);
+
+    /** Cumulative fraction of operands with <= bits significance. */
+    double at(unsigned bits) const;
+
+    /** Inverse transform: map u in [0,1) to a bit width 1..64. */
+    unsigned sample(double u) const;
+
+  private:
+    std::array<double, 65> cdf{}; // index by bits, [1..64]
+};
+
+/** All SPEC2000-like integer benchmark profiles (13, incl. vpr_ref). */
+const std::vector<BenchmarkProfile> &specIntProfiles();
+
+/** All SPEC2000-like floating-point benchmark profiles (14). */
+const std::vector<BenchmarkProfile> &specFpProfiles();
+
+/** Both suites concatenated. */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+/** Look up a profile by name; fatal() if unknown. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace pri::workload
+
+#endif // PRI_WORKLOAD_PROFILE_HH

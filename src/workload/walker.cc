@@ -1,0 +1,256 @@
+#include "walker.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/hashing.hh"
+#include "common/logging.hh"
+
+namespace pri::workload
+{
+
+namespace
+{
+
+// Independent hash salts, one per random decision.
+constexpr uint64_t kSaltWidthSel = 0x77d1;
+constexpr uint64_t kSaltWidthJit = 0x77d2;
+constexpr uint64_t kSaltWidthNew = 0x77d3;
+constexpr uint64_t kSaltMag = 0x77d4;
+constexpr uint64_t kSaltNeg = 0x77d5;
+constexpr uint64_t kSaltFpZero = 0xf901;
+constexpr uint64_t kSaltFpExp = 0xf902;
+constexpr uint64_t kSaltFpSig = 0xf903;
+constexpr uint64_t kSaltFpSign = 0xf904;
+constexpr uint64_t kSaltFpTriv = 0xf905;
+constexpr uint64_t kSaltAddr = 0xadd1;
+constexpr uint64_t kSaltAddrCold = 0xadd2;
+constexpr uint64_t kSaltStreamSel = 0xadd3;
+
+// Random streams have two-level locality: most accesses fall in a
+// hot region (temporal reuse the DL1 can capture), a fixed fraction
+// go cold anywhere in the working set. Real pointer-chasing codes
+// show exactly this skew; without it any working set larger than
+// the DL1 would miss on every access.
+constexpr double kColdAccessFrac = 0.30;
+constexpr uint64_t kHotRegionBytes = 8 * 1024;
+constexpr uint64_t kSaltCorrSel = 0xbc01;
+constexpr uint64_t kSaltCorrOut = 0xbc02;
+constexpr uint64_t kSaltBias = 0xbc03;
+
+// History bits used for correlated branch outcomes. Kept narrow
+// (64 patterns per branch) so a 4k-entry gshare can learn the
+// pattern tables without catastrophic aliasing.
+constexpr uint64_t kHistMask = 0x3f;
+
+} // namespace
+
+Walker::Walker(const SyntheticProgram &program)
+    : prog(program), seed(program.seed()), loc(program.entry())
+{
+}
+
+uint64_t
+Walker::genIntValue(const StaticInst &si, uint64_t g) const
+{
+    const auto &p = prog.profile();
+    unsigned w;
+    if (hashUniform(seed ^ kSaltWidthSel, si.id, g) < 0.7) {
+        // Stay near this static instruction's width class.
+        const int jit = static_cast<int>(
+            hashRange(5, seed ^ kSaltWidthJit, si.id, g)) - 2;
+        const int bw = static_cast<int>(si.widthClass) + jit;
+        w = static_cast<unsigned>(std::clamp(bw, 1, 64));
+    } else {
+        // Fresh sample from the benchmark-wide CDF.
+        w = prog.widthCdf().sample(
+            hashUniform(seed ^ kSaltWidthNew, si.id, g));
+    }
+
+    if (w == 1) {
+        // 1-bit two's complement: 0 or -1; zeroes dominate.
+        return hashUniform(seed ^ kSaltNeg, si.id, g) < 0.05
+            ? ~uint64_t{0} : 0;
+    }
+    const uint64_t base = uint64_t{1} << (w - 2);
+    const uint64_t mag =
+        base + hashRange(base, seed ^ kSaltMag, si.id, g);
+    const bool neg =
+        hashUniform(seed ^ kSaltNeg, si.id, g) < p.fracNegative;
+    return neg ? static_cast<uint64_t>(-static_cast<int64_t>(mag) - 1)
+               : mag;
+}
+
+uint64_t
+Walker::genFpValue(const StaticInst &si, uint64_t g) const
+{
+    const auto &p = prog.profile();
+    if (hashUniform(seed ^ kSaltFpZero, si.id, g) < p.fpFracZero)
+        return 0; // +0.0: the inlineable case
+
+    // A plausible non-zero normal double.
+    const uint64_t exp = 1003 +
+        hashRange(30, seed ^ kSaltFpExp, si.id, g); // [2^-20, 2^9]
+    uint64_t sig;
+    if (hashUniform(seed ^ kSaltFpTriv, si.id, g) <
+            p.fpFracSigTrivialNonZero) {
+        sig = 0; // integral power of two (1.0, 2.0, 0.5, ...)
+    } else {
+        sig = hashCombine(seed ^ kSaltFpSig, si.id, g) &
+            ((uint64_t{1} << 52) - 1);
+    }
+    const uint64_t sign =
+        hashUniform(seed ^ kSaltFpSign, si.id, g) < 0.3 ? 1 : 0;
+    return (sign << 63) | (exp << 52) | sig;
+}
+
+uint64_t
+Walker::genAddress(const StaticInst &si, uint64_t g) const
+{
+    PRI_ASSERT(si.memStream >= 0);
+    int32_t stream = si.memStream;
+    if (si.altStream >= 0 &&
+        hashUniform(seed ^ kSaltStreamSel, si.id, g) <
+            prog.profile().randomAccessFrac) {
+        stream = si.altStream;
+    }
+    const MemStream &st = prog.streams()[stream];
+    if (st.random) {
+        const bool cold =
+            hashUniform(seed ^ kSaltAddrCold, si.id, g) <
+            kColdAccessFrac;
+        const uint64_t span =
+            cold ? st.bytes : std::min(st.bytes, kHotRegionBytes);
+        return st.base +
+            (hashRange(span >> 3, seed ^ kSaltAddr, si.id, g) << 3);
+    }
+    // Sequential-ish: the stream position advances one 8-byte word
+    // every 16 dynamic instructions, so consecutive executions of a
+    // static load reuse cache lines and the whole (small) buffer
+    // stays DL1-resident. st.bytes is a power of two.
+    return st.base + (((g >> 4) << 3) & (st.bytes - 1));
+}
+
+bool
+Walker::branchOutcome(const StaticInst &si, uint64_t g) const
+{
+    const auto &p = prog.profile();
+    if (si.correlatable) {
+        const uint64_t h = hist & kHistMask;
+        if (hashUniform(seed ^ kSaltCorrSel, si.id, h) <
+                p.branchCorrelatedFrac) {
+            // Outcome is a pure function of recent history:
+            // learnable by the gshare component.
+            return hashCombine(seed ^ kSaltCorrOut, si.id, h) & 1;
+        }
+    }
+    return hashUniform(seed ^ kSaltBias, si.id, g) < si.bias;
+}
+
+uint64_t
+Walker::currentPc() const
+{
+    return prog.block(loc.block).insts.at(loc.idx).pc;
+}
+
+WInst
+Walker::next()
+{
+    PRI_ASSERT(!pending, "next() called with an unsteered branch");
+
+    const BasicBlock &blk = prog.block(loc.block);
+    const StaticInst &si = blk.insts.at(loc.idx);
+    const uint64_t g = gidx++;
+
+    WInst wi;
+    wi.seq = seqCounter++;
+    wi.staticId = si.id;
+    wi.pc = si.pc;
+    wi.cls = si.cls;
+    wi.dst = si.dst;
+    wi.src1 = si.src1;
+    wi.src2 = si.src2;
+
+    if (wi.hasDst()) {
+        if (si.isDeadHint) {
+            wi.resultValue = 0; // load-immediate of a narrow value
+        } else {
+            wi.resultValue = wi.dst.cls == isa::RegClass::Fp
+                ? genFpValue(si, g) : genIntValue(si, g);
+        }
+    }
+    if (si.memStream >= 0)
+        wi.memAddr = genAddress(si, g);
+
+    if (si.cls == isa::OpClass::Branch) {
+        wi.isCall = si.isCall;
+        wi.isReturn = si.isReturn;
+        wi.isUncond = si.isUncond;
+        wi.fallThrough = prog.block(blk.fallthrough).startPc;
+        if (si.isReturn) {
+            wi.taken = true;
+            wi.actualTarget = stack.empty()
+                ? prog.block(prog.entry().block).startPc
+                : prog.block(stack.back().block).startPc;
+        } else if (si.isUncond) {
+            wi.taken = true;
+            wi.actualTarget = prog.block(si.takenBlock).startPc;
+        } else {
+            wi.taken = branchOutcome(si, g);
+            wi.actualTarget = prog.block(si.takenBlock).startPc;
+        }
+        pending = true;
+        return wi;
+    }
+
+    // Advance within the block / fall through to the successor.
+    if (++loc.idx >= blk.insts.size())
+        loc = ProgLoc{blk.fallthrough, 0};
+    return wi;
+}
+
+void
+Walker::steer(const WInst &branch, bool taken, uint64_t target_pc)
+{
+    PRI_ASSERT(pending, "steer() without a pending branch");
+    pending = false;
+
+    if (!branch.isUncond)
+        hist = (hist << 1) | (taken ? 1 : 0);
+
+    const BasicBlock &blk = prog.block(loc.block);
+    if (branch.isCall) {
+        // Return address: the fall-through block.
+        stack.push_back(ProgLoc{blk.fallthrough, 0});
+    } else if (branch.isReturn) {
+        if (!stack.empty())
+            stack.pop_back();
+    }
+
+    if (taken)
+        loc = prog.locateBlockStart(target_pc);
+    else
+        loc = ProgLoc{blk.fallthrough, 0};
+}
+
+WalkerCkpt
+Walker::checkpoint() const
+{
+    PRI_ASSERT(pending,
+               "walker checkpoints are taken at pending branches");
+    return WalkerCkpt{loc, stack, gidx, hist};
+}
+
+void
+Walker::restore(const WalkerCkpt &ckpt)
+{
+    loc = ckpt.loc;
+    stack = ckpt.stack;
+    gidx = ckpt.gidx;
+    hist = ckpt.hist;
+    // The branch at `loc` has already been generated; the core must
+    // immediately steer() it down the actual path.
+    pending = true;
+}
+
+} // namespace pri::workload

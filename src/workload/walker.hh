@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dynamic instruction-stream walker.
+ *
+ * Walks a SyntheticProgram under front-end control: the core fetches
+ * instructions with next(); for every branch the core must steer()
+ * the walker down the direction it chose to *fetch* (the predicted
+ * one), which may be the wrong path. On a misprediction the core
+ * restores the checkpoint it took at the branch and re-steers with
+ * the actual outcome. All value/outcome/address randomness is a pure
+ * function of walker state that is saved in the checkpoint, so the
+ * committed path is identical regardless of timing (DESIGN.md §5).
+ */
+
+#ifndef PRI_WORKLOAD_WALKER_HH
+#define PRI_WORKLOAD_WALKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/program.hh"
+#include "workload/winst.hh"
+
+namespace pri::workload
+{
+
+/** Restorable walker state, captured at every fetched branch. */
+struct WalkerCkpt
+{
+    ProgLoc loc;                  ///< position of the branch itself
+    std::vector<ProgLoc> stack;   ///< call-stack of return locations
+    uint64_t gidx = 0;            ///< dynamic index counter
+    uint64_t hist = 0;            ///< speculative global history
+};
+
+/** Front-end instruction supplier for one benchmark run. */
+class Walker
+{
+  public:
+    explicit Walker(const SyntheticProgram &program);
+
+    /**
+     * Generate the instruction at the current location. Non-branches
+     * advance the walker; a branch leaves it paused at the branch
+     * until steer() is called.
+     */
+    WInst next();
+
+    /**
+     * Move past the pending branch in the direction the front-end
+     * fetches. @p taken is the fetched direction and @p target_pc the
+     * fetched target (must be a block-start PC); ignored when not
+     * taken.
+     */
+    void steer(const WInst &branch, bool taken, uint64_t target_pc);
+
+    /** True when next() returned a branch that has not been steered. */
+    bool branchPending() const { return pending; }
+
+    /** PC of the instruction next() will return (fetch address). */
+    uint64_t currentPc() const;
+
+    /** Capture restorable state (legal only while a branch pends). */
+    WalkerCkpt checkpoint() const;
+
+    /** Restore state captured at a mispredicted branch. */
+    void restore(const WalkerCkpt &ckpt);
+
+    const SyntheticProgram &program() const { return prog; }
+
+    // --- value generators (exposed for tests and the Figure 2
+    //     operand-significance study) ---
+
+    /** Deterministic integer result for (static inst, dynamic idx). */
+    uint64_t genIntValue(const StaticInst &si, uint64_t g) const;
+    /** Deterministic FP result (raw IEEE-754 bits). */
+    uint64_t genFpValue(const StaticInst &si, uint64_t g) const;
+    /** Deterministic effective address. */
+    uint64_t genAddress(const StaticInst &si, uint64_t g) const;
+
+  private:
+    /** Resolve the actual outcome of a conditional branch. */
+    bool branchOutcome(const StaticInst &si, uint64_t g) const;
+
+    const SyntheticProgram &prog;
+    uint64_t seed;
+
+    ProgLoc loc;
+    std::vector<ProgLoc> stack;
+    uint64_t gidx = 0;
+    uint64_t hist = 0;
+    uint64_t seqCounter = 0; ///< monotonic; never rolled back
+    bool pending = false;
+};
+
+} // namespace pri::workload
+
+#endif // PRI_WORKLOAD_WALKER_HH

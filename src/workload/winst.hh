@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The dynamic instruction record produced by the workload walker and
+ * consumed by the timing core. This is the ISA-level view of one
+ * dynamic instruction: operation class, logical operands, produced
+ * value, memory address, and branch semantics. All microarchitectural
+ * state (physical registers, timestamps) lives in the core's ROB
+ * entry, not here.
+ */
+
+#ifndef PRI_WORKLOAD_WINST_HH
+#define PRI_WORKLOAD_WINST_HH
+
+#include <cstdint>
+
+#include "isa/op_class.hh"
+#include "isa/reg.hh"
+
+namespace pri::workload
+{
+
+/** One dynamic instruction from the synthetic instruction stream. */
+struct WInst
+{
+    /** Global fetch sequence number assigned by the walker. */
+    uint64_t seq = 0;
+    /** Index of the static instruction this instance came from. */
+    uint32_t staticId = 0;
+    /** Program counter of the static instruction. */
+    uint64_t pc = 0;
+
+    isa::OpClass cls = isa::OpClass::Nop;
+    isa::RegId dst = isa::noReg();
+    isa::RegId src1 = isa::noReg();
+    isa::RegId src2 = isa::noReg();
+
+    /** Architectural result value (raw bits for FP). */
+    uint64_t resultValue = 0;
+
+    /** Effective address for loads/stores (8-byte accesses). */
+    uint64_t memAddr = 0;
+
+    // --- branch semantics (valid when cls == Branch) ---
+    bool taken = false;        ///< actual direction
+    uint64_t actualTarget = 0; ///< actual taken-path target PC
+    uint64_t fallThrough = 0;  ///< not-taken successor PC
+    bool isCall = false;
+    bool isReturn = false;
+    bool isUncond = false;     ///< unconditional (incl. call/return)
+
+    bool hasDst() const { return dst.valid(); }
+    bool isBranch() const { return isa::isBranch(cls); }
+    bool isLoad() const { return isa::isLoad(cls); }
+    bool isStore() const { return isa::isStore(cls); }
+};
+
+} // namespace pri::workload
+
+#endif // PRI_WORKLOAD_WINST_HH

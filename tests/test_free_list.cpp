@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the duplicate-tolerant free list (paper §3.2: "the
+ * free-list manager must have a scheme that allows the physical
+ * register to be placed on the free list only once for every time it
+ * is allocated").
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rename/free_list.hh"
+
+namespace pri::rename
+{
+namespace
+{
+
+TEST(FreeList, InitialPartition)
+{
+    FreeList fl(64, 32);
+    EXPECT_EQ(fl.numAllocated(), 32u);
+    EXPECT_EQ(fl.numFree(), 32u);
+    for (unsigned p = 0; p < 32; ++p)
+        EXPECT_TRUE(fl.isAllocated(static_cast<isa::PhysRegId>(p)));
+    for (unsigned p = 32; p < 64; ++p)
+        EXPECT_FALSE(fl.isAllocated(static_cast<isa::PhysRegId>(p)));
+}
+
+TEST(FreeList, AllocateReturnsDistinctFreeRegs)
+{
+    FreeList fl(64, 32);
+    std::set<isa::PhysRegId> got;
+    while (fl.hasFree())
+        EXPECT_TRUE(got.insert(fl.allocate()).second);
+    EXPECT_EQ(got.size(), 32u);
+    for (auto p : got)
+        EXPECT_GE(p, 32);
+}
+
+TEST(FreeList, FreeMakesReallocatable)
+{
+    FreeList fl(34, 32);
+    const auto a = fl.allocate();
+    const auto b = fl.allocate();
+    EXPECT_FALSE(fl.hasFree());
+    fl.free(a);
+    EXPECT_TRUE(fl.hasFree());
+    EXPECT_EQ(fl.allocate(), a);
+    fl.free(b);
+    fl.free(a);
+    EXPECT_EQ(fl.numFree(), 2u);
+}
+
+TEST(FreeList, DuplicateFreeIgnoredOncePerAllocation)
+{
+    FreeList fl(64, 32);
+    const auto p = fl.allocate();
+    EXPECT_TRUE(fl.free(p));
+    // Second free of the same register: the PRI early-free followed
+    // by the commit-time free. Must be ignored.
+    EXPECT_FALSE(fl.free(p));
+    EXPECT_FALSE(fl.free(p));
+    EXPECT_EQ(fl.duplicateFrees(), 2u);
+    // No duplicate entries: draining yields each register once.
+    std::set<isa::PhysRegId> drained;
+    while (fl.hasFree())
+        EXPECT_TRUE(drained.insert(fl.allocate()).second);
+    EXPECT_EQ(drained.size(), 32u);
+}
+
+TEST(FreeList, AllocFreeStressKeepsPartition)
+{
+    FreeList fl(48, 32);
+    std::vector<isa::PhysRegId> live;
+    uint64_t rng = 12345;
+    for (int i = 0; i < 10000; ++i) {
+        rng = rng * 6364136223846793005ULL + 1;
+        if ((rng >> 33) % 2 == 0 && fl.hasFree()) {
+            live.push_back(fl.allocate());
+        } else if (!live.empty()) {
+            const size_t k = (rng >> 40) % live.size();
+            fl.free(live[k]);
+            live[k] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(fl.numAllocated() + fl.numFree(), 48u);
+        ASSERT_EQ(fl.numAllocated(), 32u + live.size());
+    }
+}
+
+} // namespace
+} // namespace pri::rename

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the counter-based deterministic randomness that underpins
+ * workload reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hashing.hh"
+
+namespace pri
+{
+namespace
+{
+
+TEST(SplitMix64, KnownToBeDeterministic)
+{
+    EXPECT_EQ(splitMix64(0), splitMix64(0));
+    EXPECT_EQ(splitMix64(12345), splitMix64(12345));
+    EXPECT_NE(splitMix64(1), splitMix64(2));
+}
+
+TEST(SplitMix64, AvalanchesSingleBitChanges)
+{
+    // Flipping one input bit should flip roughly half the output
+    // bits for any decent mixer.
+    for (uint64_t x : {uint64_t{0}, uint64_t{42}, ~uint64_t{0}}) {
+        const uint64_t a = splitMix64(x);
+        const uint64_t b = splitMix64(x ^ 1);
+        const int flipped = __builtin_popcountll(a ^ b);
+        EXPECT_GT(flipped, 16) << "x=" << x;
+        EXPECT_LT(flipped, 48) << "x=" << x;
+    }
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+    EXPECT_NE(hashCombine(1, 2, 3), hashCombine(1, 3, 2));
+}
+
+TEST(HashUniform, InUnitInterval)
+{
+    for (uint64_t i = 0; i < 1000; ++i) {
+        const double u = hashUniform(7, i, 13);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(HashUniform, ApproximatelyUniform)
+{
+    // Mean of U(0,1) samples should be near 0.5.
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        acc += hashUniform(0x9a, static_cast<uint64_t>(i));
+    const double mean = acc / n;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(HashRange, RespectsBound)
+{
+    for (uint64_t i = 0; i < 1000; ++i)
+        EXPECT_LT(hashRange(17, 3, i), 17u);
+    EXPECT_EQ(hashRange(0, 1, 2), 0u);
+}
+
+TEST(SplitMixRng, ReproducibleStream)
+{
+    SplitMixRng a(99);
+    SplitMixRng b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMixRng, DifferentSeedsDiffer)
+{
+    SplitMixRng a(1);
+    SplitMixRng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+} // namespace
+} // namespace pri

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Integration tests: the cross-scheme behavioural shapes the paper
+ * reports must hold on the simulator (directionally, on small
+ * instruction budgets).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "workload/profile.hh"
+
+namespace pri::sim
+{
+namespace
+{
+
+RunResult
+quickRun(const std::string &bench, unsigned width, Scheme scheme,
+         unsigned pregs = 64)
+{
+    RunParams p;
+    p.benchmark = bench;
+    p.width = width;
+    p.scheme = scheme;
+    p.physRegs = pregs;
+    p.warmupInsts = 10000;
+    p.measureInsts = 40000;
+    p.seed = 42;
+    p.checkInvariants = true;
+    return simulate(p);
+}
+
+TEST(Integration, PriSpeedsUpRegisterBoundRuns)
+{
+    // gzip at 64 registers is register-bound and narrow-heavy:
+    // the paper's headline effect must appear.
+    const auto base = quickRun("gzip", 4, Scheme::Base);
+    const auto pri =
+        quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_GT(pri.ipc, base.ipc * 1.03);
+}
+
+TEST(Integration, InfinitePregsIsTheUpperBound)
+{
+    const auto inf = quickRun("gzip", 4, Scheme::InfinitePregs);
+    for (Scheme s : {Scheme::Base, Scheme::EarlyRelease,
+                     Scheme::PriRefcountCkptcount,
+                     Scheme::PriPlusEr}) {
+        const auto r = quickRun("gzip", 4, s);
+        EXPECT_LE(r.ipc, inf.ipc * 1.02)
+            << schemeName(s) << " beat InfPR";
+    }
+}
+
+TEST(Integration, PriBeatsEarlyReleaseAsInPaper)
+{
+    // Paper §5.1: PRI outperforms previous-work early release.
+    const auto er = quickRun("gzip", 4, Scheme::EarlyRelease);
+    const auto pri =
+        quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_GT(pri.ipc, er.ipc);
+}
+
+TEST(Integration, CombiningPriAndErHelpsOrMatches)
+{
+    const auto pri =
+        quickRun("bzip2", 4, Scheme::PriRefcountCkptcount);
+    const auto both = quickRun("bzip2", 4, Scheme::PriPlusEr);
+    EXPECT_GE(both.ipc, pri.ipc * 0.99);
+}
+
+TEST(Integration, IdealFlavourIsAtLeastRefcount)
+{
+    const auto ref =
+        quickRun("mcf", 4, Scheme::PriRefcountCkptcount);
+    const auto ideal =
+        quickRun("mcf", 4, Scheme::PriIdealCkptcount);
+    EXPECT_GE(ideal.ipc, ref.ipc * 0.98);
+}
+
+TEST(Integration, LazyCheckpointUpdateIsAtLeastCkptcount)
+{
+    const auto ckpt =
+        quickRun("mcf", 4, Scheme::PriRefcountCkptcount);
+    const auto lazy = quickRun("mcf", 4, Scheme::PriRefcountLazy);
+    EXPECT_GE(lazy.ipc, ckpt.ipc * 0.98);
+}
+
+TEST(Integration, PriCollapsesPhase3Lifetime)
+{
+    // Figure 8: last-read -> release shrinks dramatically under PRI.
+    const auto base = quickRun("gzip", 4, Scheme::Base);
+    const auto pri =
+        quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_LT(pri.lifeLastReadToRelease,
+              base.lifeLastReadToRelease * 0.7);
+}
+
+TEST(Integration, PriReducesOccupancy)
+{
+    // Figure 11: average PRF occupancy drops under PRI.
+    const auto base = quickRun("gzip", 4, Scheme::Base);
+    const auto pri =
+        quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_LT(pri.avgIntOccupancy, base.avgIntOccupancy);
+}
+
+TEST(Integration, MorePhysicalRegistersNeverHurtMuch)
+{
+    // Figure 9 monotonicity (within noise).
+    const auto p40 = quickRun("gzip", 4, Scheme::Base, 40);
+    const auto p64 = quickRun("gzip", 4, Scheme::Base, 64);
+    const auto p96 = quickRun("gzip", 4, Scheme::Base, 96);
+    EXPECT_GE(p64.ipc, p40.ipc * 0.97);
+    EXPECT_GE(p96.ipc, p64.ipc * 0.97);
+}
+
+TEST(Integration, NarrowHeavyBenchmarkInlinesMoreThanWide)
+{
+    // gzip (narrow CDF) must inline a much larger fraction of its
+    // results than crafty (bitboards).
+    const auto gzip =
+        quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    const auto crafty =
+        quickRun("crafty", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_GT(gzip.inlinedFrac, crafty.inlinedFrac + 0.15);
+}
+
+TEST(Integration, FpBenchmarkInlinesZeroValues)
+{
+    // art: 86% of FP values are +0.0 and inlineable.
+    const auto art = quickRun("art", 4, Scheme::PriRefcountCkptcount);
+    EXPECT_GT(art.priEarlyFrees, 10.0);
+}
+
+TEST(Integration, TenBitWindowCapturesMoreOperandsThanSeven)
+{
+    // The 8-wide model's wider map entry (10-bit values) must
+    // capture strictly more of every workload's operands than the
+    // 4-wide model's 7-bit entries (paper §4's motivation for the
+    // per-width narrow limits).
+    for (const auto &prof : workload::allProfiles()) {
+        const workload::WidthCdf cdf(prof.widthPoints);
+        EXPECT_GT(cdf.at(10), cdf.at(7) - 1e-12) << prof.name;
+        EXPECT_GT(cdf.at(10), 0.0) << prof.name;
+    }
+}
+
+TEST(Integration, SchemesAgreeOnWorkloadCharacter)
+{
+    // Scheme choice must not change workload-level properties.
+    const auto base = quickRun("parser", 4, Scheme::Base);
+    const auto pri =
+        quickRun("parser", 4, Scheme::PriIdealLazy);
+    EXPECT_NEAR(base.branchMispredictRate,
+                pri.branchMispredictRate, 0.02);
+    EXPECT_NEAR(base.dl1MissRate, pri.dl1MissRate, 0.03);
+}
+
+TEST(Integration, EightWideShowsLargerPriGains)
+{
+    // Paper: 7.3% @4-wide vs 14.8% @8-wide on average. Test the
+    // direction on a clearly register-bound benchmark.
+    const auto b4 = quickRun("gzip", 4, Scheme::Base);
+    const auto p4 = quickRun("gzip", 4, Scheme::PriRefcountCkptcount);
+    const auto b8 = quickRun("gzip", 8, Scheme::Base);
+    const auto p8 = quickRun("gzip", 8, Scheme::PriRefcountCkptcount);
+    const double s4 = p4.ipc / b4.ipc;
+    const double s8 = p8.ipc / b8.ipc;
+    EXPECT_GT(s8, s4 * 0.9); // at least comparable; usually larger
+}
+
+} // namespace
+} // namespace pri::sim

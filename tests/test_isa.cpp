@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the ISA model: op classes, latencies, register ids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/op_class.hh"
+#include "isa/reg.hh"
+
+namespace pri::isa
+{
+namespace
+{
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_FALSE(isLoad(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::Store));
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+    EXPECT_TRUE(isBranch(OpClass::Branch));
+    EXPECT_TRUE(isFp(OpClass::FpAdd));
+    EXPECT_TRUE(isFp(OpClass::FpMult));
+    EXPECT_TRUE(isFp(OpClass::FpDiv));
+    EXPECT_FALSE(isFp(OpClass::IntMult));
+}
+
+TEST(OpClass, LatenciesAreSimpleScalarLike)
+{
+    EXPECT_EQ(execLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(execLatency(OpClass::IntMult), 3u);
+    EXPECT_EQ(execLatency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(execLatency(OpClass::FpAdd), 2u);
+    EXPECT_EQ(execLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(execLatency(OpClass::FpDiv), 12u);
+    EXPECT_EQ(execLatency(OpClass::Branch), 1u);
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    EXPECT_EQ(opClassName(OpClass::Load), "load");
+    EXPECT_EQ(opClassName(OpClass::FpMult), "fmul");
+    EXPECT_NE(opClassName(OpClass::IntAlu),
+              opClassName(OpClass::IntMult));
+}
+
+TEST(RegId, ValidityAndEquality)
+{
+    EXPECT_FALSE(noReg().valid());
+    EXPECT_TRUE(intReg(0).valid());
+    EXPECT_EQ(intReg(5), intReg(5));
+    EXPECT_FALSE(intReg(5) == fpReg(5));
+    EXPECT_FALSE(intReg(5) == intReg(6));
+}
+
+TEST(RegId, FlatIndexSeparatesClasses)
+{
+    EXPECT_EQ(intReg(0).flat(), 0u);
+    EXPECT_EQ(intReg(31).flat(), 31u);
+    EXPECT_EQ(fpReg(0).flat(), 32u);
+    EXPECT_EQ(fpReg(31).flat(), 63u);
+}
+
+TEST(RegId, StringForm)
+{
+    EXPECT_EQ(intReg(3).str(), "r3");
+    EXPECT_EQ(fpReg(17).str(), "f17");
+    EXPECT_EQ(noReg().str(), "-");
+}
+
+} // namespace
+} // namespace pri::isa

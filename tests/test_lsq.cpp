@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the load/store queue with oracle forwarding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lsq.hh"
+
+namespace pri::core
+{
+namespace
+{
+
+TEST(Lsq, InsertCommitRoundTrip)
+{
+    Lsq lsq(4);
+    EXPECT_FALSE(lsq.full());
+    lsq.insert(1, 0x100, false);
+    lsq.insert(2, 0x200, true);
+    EXPECT_EQ(lsq.occupancy(), 2u);
+    lsq.commitHead(1);
+    lsq.commitHead(2);
+    EXPECT_EQ(lsq.occupancy(), 0u);
+}
+
+TEST(Lsq, FullAtCapacity)
+{
+    Lsq lsq(2);
+    lsq.insert(1, 0x0, false);
+    lsq.insert(2, 0x8, false);
+    EXPECT_TRUE(lsq.full());
+}
+
+TEST(Lsq, ForwardFromOlderStoreSameWord)
+{
+    Lsq lsq(8);
+    lsq.insert(10, 0x1000, true); // store
+    lsq.insert(11, 0x1000, false);
+    EXPECT_TRUE(lsq.forwardHit(11, 0x1000));
+    // Same 8-byte word, different byte offset: still forwards.
+    EXPECT_TRUE(lsq.forwardHit(11, 0x1004));
+    // Different word: no forward.
+    EXPECT_FALSE(lsq.forwardHit(11, 0x1008));
+}
+
+TEST(Lsq, NoForwardFromYoungerStore)
+{
+    Lsq lsq(8);
+    lsq.insert(20, 0x2000, false); // the load
+    lsq.insert(21, 0x2000, true);  // younger store
+    EXPECT_FALSE(lsq.forwardHit(20, 0x2000));
+}
+
+TEST(Lsq, NoForwardFromLoads)
+{
+    Lsq lsq(8);
+    lsq.insert(30, 0x3000, false);
+    EXPECT_FALSE(lsq.forwardHit(31, 0x3000));
+}
+
+TEST(Lsq, SquashDropsYoungerOnly)
+{
+    Lsq lsq(8);
+    lsq.insert(1, 0x10, true);
+    lsq.insert(5, 0x20, true);
+    lsq.insert(9, 0x30, true);
+    lsq.squashYounger(5);
+    EXPECT_EQ(lsq.occupancy(), 2u);
+    EXPECT_FALSE(lsq.forwardHit(100, 0x30));
+    EXPECT_TRUE(lsq.forwardHit(100, 0x20));
+    // Tail reuse after squash works.
+    lsq.insert(6, 0x40, true);
+    EXPECT_TRUE(lsq.forwardHit(100, 0x40));
+}
+
+TEST(Lsq, WrapAroundKeepsOrder)
+{
+    Lsq lsq(3);
+    lsq.insert(1, 0x10, true);
+    lsq.insert(2, 0x20, true);
+    lsq.commitHead(1);
+    lsq.insert(3, 0x30, true); // wraps
+    lsq.commitHead(2);
+    lsq.insert(4, 0x40, true);
+    EXPECT_TRUE(lsq.forwardHit(9, 0x30));
+    EXPECT_TRUE(lsq.forwardHit(9, 0x40));
+    lsq.commitHead(3);
+    lsq.commitHead(4);
+    EXPECT_EQ(lsq.occupancy(), 0u);
+}
+
+} // namespace
+} // namespace pri::core

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the combined bimodal/gshare predictor, BTB, and RAS
+ * (paper Table 1 branch prediction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+namespace pri::branch
+{
+namespace
+{
+
+TEST(Counter, Saturates)
+{
+    uint8_t c = 0;
+    c = counterUpdate(c, false);
+    EXPECT_EQ(c, 0);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    c = counterUpdate(c, true);
+    EXPECT_EQ(c, 3);
+}
+
+TEST(Combined, BimodalLearnsBiasedBranch)
+{
+    CombinedPredictor p;
+    const uint64_t pc = 0x4000;
+    // Always-taken branch: after warmup the prediction is taken.
+    for (int i = 0; i < 8; ++i) {
+        auto tok = p.predict(pc);
+        p.update(pc, true, tok);
+    }
+    EXPECT_TRUE(p.predict(pc).predTaken);
+}
+
+TEST(Combined, GshareLearnsAlternatingPattern)
+{
+    CombinedPredictor p;
+    const uint64_t pc = 0x5000;
+    // Outcome = parity of iteration: pure history correlation that
+    // bimodal cannot learn but gshare can.
+    int correct_tail = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool outcome = i & 1;
+        auto tok = p.predict(pc);
+        if (i >= 300 && tok.predTaken == outcome)
+            ++correct_tail;
+        p.update(pc, outcome, tok);
+        p.setHistory((p.history() & ~uint64_t{1}) |
+                     (outcome ? 1 : 0)); // repair speculative shift
+    }
+    EXPECT_GT(correct_tail, 90); // ~100% after training
+}
+
+TEST(Combined, SelectorPrefersBetterComponent)
+{
+    CombinedPredictor p;
+    const uint64_t pc = 0x6000;
+    // Strongly biased branch with noisy history: bimodal is right,
+    // selector should settle and overall accuracy approach the bias.
+    int correct = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool outcome = (i % 10) != 0; // 90% taken
+        auto tok = p.predict(pc);
+        if (i >= 200)
+            correct += tok.predTaken == outcome;
+        p.update(pc, outcome, tok);
+    }
+    EXPECT_GT(correct, 640); // >80% of the last 800
+}
+
+TEST(Combined, HistoryRestoreForRecovery)
+{
+    CombinedPredictor p;
+    p.setHistory(0xabc);
+    EXPECT_EQ(p.history(), 0xabcu);
+    p.predict(0x100); // shifts speculative history
+    EXPECT_NE(p.history(), 0xabcu);
+    p.setHistory(0xabc);
+    EXPECT_EQ(p.history(), 0xabcu);
+}
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb;
+    EXPECT_FALSE(btb.lookup(0x1234).has_value());
+    btb.update(0x1234, 0x9999);
+    auto t = btb.lookup(0x1234);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x9999u);
+}
+
+TEST(Btb, UpdatesExistingEntry)
+{
+    Btb btb;
+    btb.update(0x1234, 0x1);
+    btb.update(0x1234, 0x2);
+    EXPECT_EQ(*btb.lookup(0x1234), 0x2u);
+}
+
+TEST(Btb, SetAssociativityHoldsFourConflictingEntries)
+{
+    Btb btb;
+    // Same set: pc stride = 4 * 256 sets * 4 bytes.
+    const uint64_t stride = 4096;
+    for (uint64_t i = 0; i < 4; ++i)
+        btb.update(0x1000 + i * stride, i);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(btb.lookup(0x1000 + i * stride).has_value());
+    // A fifth conflicting entry evicts the LRU (the first one).
+    btb.update(0x1000 + 4 * stride, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Ras, PushPopLifo)
+{
+    Ras ras;
+    ras.push(0x10);
+    ras.push(0x20);
+    EXPECT_EQ(ras.pop(), 0x20u);
+    EXPECT_EQ(ras.pop(), 0x10u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u); // empty pops return 0
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    Ras ras;
+    for (uint64_t i = 1; i <= Ras::kDepth + 4; ++i)
+        ras.push(i);
+    // Newest kDepth survive; oldest 4 were overwritten.
+    for (uint64_t i = Ras::kDepth + 4; i > 4; --i)
+        EXPECT_EQ(ras.pop(), i);
+}
+
+TEST(Ras, SnapshotRestore)
+{
+    Ras ras;
+    ras.push(0x10);
+    ras.push(0x20);
+    PredictorSnapshot snap;
+    ras.snapshot(snap);
+    ras.pop();
+    ras.push(0x99);
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x20u);
+    EXPECT_EQ(ras.pop(), 0x10u);
+}
+
+} // namespace
+} // namespace pri::branch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the analytical register-file model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rename/prf_model.hh"
+
+namespace pri::rename
+{
+namespace
+{
+
+TEST(PrfModel, BaselineNormalisesToOne)
+{
+    const auto e = PrfModel::estimate(PrfGeometry{});
+    EXPECT_DOUBLE_EQ(e.accessDelay, 1.0);
+    EXPECT_DOUBLE_EQ(e.area, 1.0);
+    EXPECT_DOUBLE_EQ(e.energyPerAccess, 1.0);
+}
+
+TEST(PrfModel, DelayGrowsWithEntries)
+{
+    PrfGeometry small{48, 64, 8, 4};
+    PrfGeometry big{256, 64, 8, 4};
+    EXPECT_LT(PrfModel::rawDelay(small), PrfModel::rawDelay(big));
+    // Monotone over the whole sweep.
+    double prev = 0.0;
+    for (unsigned r = 32; r <= 512; r *= 2) {
+        PrfGeometry g{r, 64, 8, 4};
+        const double d = PrfModel::rawDelay(g);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(PrfModel, PortsDominateArea)
+{
+    // Area grows quadratically with ports (pitch in both
+    // dimensions) — the classic superscalar register-file problem.
+    PrfGeometry narrow{64, 64, 4, 2};
+    PrfGeometry wide{64, 64, 16, 8};
+    const double ratio =
+        PrfModel::rawArea(wide) / PrfModel::rawArea(narrow);
+    EXPECT_GT(ratio, 4.0);
+}
+
+TEST(PrfModel, EightWideMachineNeedsFasterOrFewerRegisters)
+{
+    // Doubling ports at the same entry count must increase delay.
+    PrfGeometry w4{64, 64, 8, 4};
+    PrfGeometry w8{64, 64, 16, 8};
+    EXPECT_GT(PrfModel::rawDelay(w8), PrfModel::rawDelay(w4));
+}
+
+TEST(PrfModel, EntriesWithinDelayInvertsRawDelay)
+{
+    PrfGeometry base{64, 64, 8, 4};
+    const double budget = PrfModel::rawDelay(base);
+    const unsigned r =
+        PrfModel::entriesWithinDelay(budget, base, 32, 512);
+    EXPECT_EQ(r, 64u);
+    // A generous budget admits more entries.
+    const unsigned r2 =
+        PrfModel::entriesWithinDelay(budget * 1.5, base, 32, 512);
+    EXPECT_GT(r2, 64u);
+}
+
+TEST(PrfModel, EnergyScalesWithEntriesAndWidth)
+{
+    PrfGeometry g{64, 64, 8, 4};
+    PrfGeometry twice_entries{128, 64, 8, 4};
+    PrfGeometry twice_bits{64, 128, 8, 4};
+    EXPECT_GT(PrfModel::rawEnergy(twice_entries),
+              PrfModel::rawEnergy(g));
+    EXPECT_GT(PrfModel::rawEnergy(twice_bits),
+              PrfModel::rawEnergy(g));
+}
+
+} // namespace
+} // namespace pri::rename

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for benchmark profiles and the width-CDF machinery that
+ * drives operand significance (paper Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/profile.hh"
+
+namespace pri::workload
+{
+namespace
+{
+
+TEST(WidthCdf, InterpolatesControlPoints)
+{
+    WidthCdf cdf({{1, 0.2}, {8, 0.5}, {32, 0.9}, {64, 1.0}});
+    EXPECT_DOUBLE_EQ(cdf.at(1), 0.2);
+    EXPECT_DOUBLE_EQ(cdf.at(8), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(64), 1.0);
+    // Monotone, interpolated in between.
+    double prev = 0.0;
+    for (unsigned b = 1; b <= 64; ++b) {
+        EXPECT_GE(cdf.at(b), prev);
+        prev = cdf.at(b);
+    }
+    EXPECT_GT(cdf.at(4), 0.2);
+    EXPECT_LT(cdf.at(4), 0.5);
+}
+
+TEST(WidthCdf, SampleInverseMatchesCdf)
+{
+    WidthCdf cdf({{1, 0.25}, {10, 0.5}, {32, 0.9}, {64, 1.0}});
+    // Sampling with u just below a control value yields a width at
+    // or below that control point.
+    EXPECT_LE(cdf.sample(0.2), 1u);
+    EXPECT_LE(cdf.sample(0.49), 10u);
+    EXPECT_LE(cdf.sample(0.89), 32u);
+    EXPECT_LE(cdf.sample(0.999), 64u);
+    EXPECT_GE(cdf.sample(0.95), 32u);
+}
+
+TEST(WidthCdf, SampledDistributionMatchesTargets)
+{
+    WidthCdf cdf({{1, 0.25}, {10, 0.5}, {32, 0.9}, {64, 1.0}});
+    const int n = 40000;
+    int le10 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double u =
+            (static_cast<double>(i) + 0.5) / n; // stratified
+        if (cdf.sample(u) <= 10)
+            ++le10;
+    }
+    EXPECT_NEAR(static_cast<double>(le10) / n, 0.5, 0.02);
+}
+
+TEST(Profiles, SuitesHavePaperCounts)
+{
+    // 12 SPECint benchmarks + vpr with both inputs = 13 rows;
+    // 14 SPECfp benchmarks (paper Table 2).
+    EXPECT_EQ(specIntProfiles().size(), 13u);
+    EXPECT_EQ(specFpProfiles().size(), 14u);
+    EXPECT_EQ(allProfiles().size(), 27u);
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("gzip").name, "gzip");
+    EXPECT_EQ(profileByName("ammp").suite, Suite::Fp);
+    EXPECT_EQ(profileByName("mcf").suite, Suite::Int);
+}
+
+TEST(Profiles, MixFractionsAreSane)
+{
+    for (const auto &p : allProfiles()) {
+        const double total = p.fracLoad + p.fracStore +
+            p.fracBranch + p.fracIntMult + p.fracIntDiv +
+            p.fracFpAdd + p.fracFpMult + p.fracFpDiv;
+        EXPECT_LT(total, 1.0) << p.name;
+        EXPECT_GT(p.fracLoad, 0.0) << p.name;
+        EXPECT_GT(p.fracBranch, 0.0) << p.name;
+        EXPECT_FALSE(p.widthPoints.empty()) << p.name;
+        EXPECT_GE(p.fpFracZero, 0.0) << p.name;
+        EXPECT_LE(p.fpFracZero, 1.0) << p.name;
+        EXPECT_GT(p.paperIpc4, 0.0) << p.name;
+        EXPECT_GT(p.paperIpc8, 0.0) << p.name;
+    }
+}
+
+TEST(Profiles, NarrowHeavyVsWideBenchmarksDiffer)
+{
+    // gzip is the paper's best case for narrow integer operands,
+    // crafty (64-bit chess bitboards) the worst.
+    const WidthCdf gzip(profileByName("gzip").widthPoints);
+    const WidthCdf crafty(profileByName("crafty").widthPoints);
+    EXPECT_GT(gzip.at(10), 0.7);
+    EXPECT_LT(crafty.at(10), 0.3);
+}
+
+} // namespace
+} // namespace pri::workload

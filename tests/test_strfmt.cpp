@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the diagnostic mini-formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strfmt.hh"
+
+namespace pri
+{
+namespace
+{
+
+TEST(FmtStr, SubstitutesInOrder)
+{
+    EXPECT_EQ(fmtStr("a={} b={}", 1, "two"), "a=1 b=two");
+}
+
+TEST(FmtStr, IgnoresFormatSpecs)
+{
+    EXPECT_EQ(fmtStr("x={:#x}", 255), "x=255");
+    EXPECT_EQ(fmtStr("{:<10}", "hi"), "hi");
+}
+
+TEST(FmtStr, MissingArgsMarked)
+{
+    EXPECT_EQ(fmtStr("{} {}", 1), "1 {?}");
+}
+
+TEST(FmtStr, ExtraArgsIgnored)
+{
+    EXPECT_EQ(fmtStr("{}", 1, 2, 3), "1");
+}
+
+TEST(FmtStr, EscapedBraces)
+{
+    EXPECT_EQ(fmtStr("{{}} {}", 9), "{} 9");
+}
+
+TEST(FmtStr, NoPlaceholders)
+{
+    EXPECT_EQ(fmtStr("plain"), "plain");
+}
+
+TEST(FmtStr, UnterminatedBraceKeptVerbatim)
+{
+    EXPECT_EQ(fmtStr("oops {", 1), "oops {");
+}
+
+} // namespace
+} // namespace pri
