@@ -53,7 +53,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pri;
-    const auto budget = bench::parseBudget(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto &budget = opts.budget;
     const double densities[] = {0.0, 0.25, 0.5, 1.0};
     const std::string benches[] = {"crafty", "eon", "vortex"};
 
@@ -61,15 +62,34 @@ main(int argc, char **argv)
                 "(4-wide, 64 PR) ===\n");
     std::printf("(hint density = probability a basic block ends "
                 "with a dead-register zeroing)\n\n");
-    for (const auto &b : benches) {
-        std::printf("%s\n%10s %12s %12s %14s\n", b.c_str(),
-                    "density", "IPC(noPRI)", "IPC(PRI)",
-                    "PRI speedup");
-        for (double d : densities) {
-            const double off = runHints(b, d, false, budget);
-            const double on = runHints(b, d, true, budget);
-            std::printf("%10.2f %12.3f %12.3f %13.1f%%\n", d, off,
-                        on, 100.0 * (on / off - 1.0));
+
+    // Flatten (bench x density x {off,on}) into runner jobs; the
+    // tables print in order afterwards.
+    const size_t n_cells =
+        std::size(benches) * std::size(densities);
+    std::vector<double> off_ipc(n_cells), on_ipc(n_cells);
+    sim::SimulationRunner(opts.jobs).forEach(
+        n_cells * 2, [&](size_t i) {
+            const size_t cell = i / 2;
+            const auto &b = benches[cell / std::size(densities)];
+            const double d = densities[cell % std::size(densities)];
+            if (i % 2 == 0)
+                off_ipc[cell] = runHints(b, d, false, budget);
+            else
+                on_ipc[cell] = runHints(b, d, true, budget);
+        });
+
+    for (size_t bi = 0; bi < std::size(benches); ++bi) {
+        std::printf("%s\n%10s %12s %12s %14s\n",
+                    benches[bi].c_str(), "density", "IPC(noPRI)",
+                    "IPC(PRI)", "PRI speedup");
+        for (size_t di = 0; di < std::size(densities); ++di) {
+            const size_t cell = bi * std::size(densities) + di;
+            const double off = off_ipc[cell];
+            const double on = on_ipc[cell];
+            std::printf("%10.2f %12.3f %12.3f %13.1f%%\n",
+                        densities[di], off, on,
+                        100.0 * (on / off - 1.0));
         }
         std::printf("\n");
     }

@@ -46,7 +46,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pri;
-    const auto budget = bench::parseBudget(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto &budget = opts.budget;
     const unsigned widths[] = {4, 7, 8, 10, 12, 16};
     const std::string benches[] = {"gzip", "crafty", "mcf", "gcc"};
 
@@ -57,13 +58,34 @@ main(int argc, char **argv)
         std::printf(" %7ub", w);
     std::printf("\n");
 
+    // One job per cell (plus one Base per row), fanned out across
+    // the runner; rows print in order afterwards.
+    struct Job
+    {
+        std::string bench;
+        unsigned narrowBits;
+        bool priOn;
+    };
+    std::vector<Job> jobs;
     for (const auto &b : benches) {
-        const double base = runWithNarrowBits(b, 7, budget, false);
+        jobs.push_back(Job{b, 7, false});
+        for (unsigned w : widths)
+            jobs.push_back(Job{b, w, true});
+    }
+    std::vector<double> ipc(jobs.size());
+    sim::SimulationRunner(opts.jobs).forEach(
+        jobs.size(), [&](size_t i) {
+            ipc[i] = runWithNarrowBits(jobs[i].bench,
+                                       jobs[i].narrowBits, budget,
+                                       jobs[i].priOn);
+        });
+
+    size_t j = 0;
+    for (const auto &b : benches) {
+        const double base = ipc[j++];
         std::printf("%-10s", b.c_str());
-        for (unsigned w : widths) {
-            const double pri = runWithNarrowBits(b, w, budget, true);
-            std::printf(" %7.3f", pri / base);
-        }
+        for (size_t k = 0; k < std::size(widths); ++k)
+            std::printf(" %7.3f", ipc[j++] / base);
         std::printf("\n");
     }
     std::printf("\npaper choice: 7 bits at 4-wide (8-bit map entry "

@@ -46,20 +46,38 @@ int
 main(int argc, char **argv)
 {
     using namespace pri;
-    const auto budget = bench::parseBudget(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto &budget = opts.budget;
     const unsigned sizes[] = {16, 32, 64, 128, 512};
     const std::string benches[] = {"gzip", "equake", "gcc"};
 
     std::printf("=== Ablation: scheduler size vs PRI benefit "
                 "(4-wide, 64 PR) ===\n\n");
-    for (const auto &b : benches) {
-        std::printf("%s\n%8s %10s %10s %10s\n", b.c_str(), "sched",
-                    "IPC(Base)", "IPC(PRI)", "speedup");
-        for (unsigned s : sizes) {
-            const double base = runSched(b, s, false, budget);
-            const double pri = runSched(b, s, true, budget);
-            std::printf("%8u %10.3f %10.3f %9.1f%%\n", s, base, pri,
-                        100.0 * (pri / base - 1.0));
+
+    // Flatten the (bench x sched x {Base,PRI}) grid into jobs for
+    // the runner; print the tables in order afterwards.
+    const size_t n_cells = std::size(benches) * std::size(sizes);
+    std::vector<double> base_ipc(n_cells), pri_ipc(n_cells);
+    sim::SimulationRunner(opts.jobs).forEach(
+        n_cells * 2, [&](size_t i) {
+            const size_t cell = i / 2;
+            const auto &b = benches[cell / std::size(sizes)];
+            const unsigned s = sizes[cell % std::size(sizes)];
+            if (i % 2 == 0)
+                base_ipc[cell] = runSched(b, s, false, budget);
+            else
+                pri_ipc[cell] = runSched(b, s, true, budget);
+        });
+
+    for (size_t bi = 0; bi < std::size(benches); ++bi) {
+        std::printf("%s\n%8s %10s %10s %10s\n", benches[bi].c_str(),
+                    "sched", "IPC(Base)", "IPC(PRI)", "speedup");
+        for (size_t si = 0; si < std::size(sizes); ++si) {
+            const size_t cell = bi * std::size(sizes) + si;
+            const double base = base_ipc[cell];
+            const double pri = pri_ipc[cell];
+            std::printf("%8u %10.3f %10.3f %9.1f%%\n", sizes[si],
+                        base, pri, 100.0 * (pri / base - 1.0));
         }
         std::printf("\n");
     }

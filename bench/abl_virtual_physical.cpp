@@ -16,7 +16,8 @@ int
 main(int argc, char **argv)
 {
     using namespace pri;
-    const auto budget = bench::parseBudget(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto &budget = opts.budget;
     const unsigned sizes[] = {40, 48, 56, 64, 80};
     const sim::Scheme panel[] = {
         sim::Scheme::Base,
@@ -29,6 +30,17 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation: virtual-physical registers x PRI "
                 "(4-wide) ===\n\n");
+
+    std::vector<bench::Point> pts;
+    for (const auto &b : benches) {
+        pts.push_back(
+            bench::Point{b, 4, sim::Scheme::InfinitePregs, 64});
+        for (unsigned pr : sizes)
+            for (auto s : panel)
+                pts.push_back(bench::Point{b, 4, s, pr});
+    }
+    bench::prefetchPoints(pts, opts);
+
     for (const auto &b : benches) {
         const auto inf = bench::runOne(
             b, 4, sim::Scheme::InfinitePregs, budget);
@@ -50,5 +62,6 @@ main(int argc, char **argv)
                 "VP alone hits the storage wall at writeback and "
                 "VP+PRI recovers (inlined values never claim "
                 "storage)\n");
+    bench::writeJson(opts);
     return 0;
 }

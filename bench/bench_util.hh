@@ -1,22 +1,39 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses in bench/: common
- * instruction budgets, table formatting, and geometric means.
+ * instruction budgets, command-line options, the parallel sweep
+ * prefetcher, table formatting, geometric means, and machine-
+ * readable JSON output.
  *
  * Each bench binary regenerates one table or figure of the paper.
  * Instruction budgets are chosen so every binary finishes in tens of
  * seconds; pass --quick to shrink them further, --full to enlarge.
+ *
+ * Harnesses print their tables row by row but declare their full
+ * experiment grid up front via prefetchGrid()/prefetchPoints().
+ * The prefetcher fans every (benchmark × scheme × width × pregs ×
+ * seed) point out across a sim::SimulationRunner thread pool
+ * (--jobs N, default hardware_concurrency) and memoizes the
+ * seed-averaged results; the subsequent runOne() calls in the
+ * printing code hit the cache, so the emitted tables are
+ * byte-identical to serial execution (--jobs 1).
  */
 
 #ifndef PRI_BENCH_BENCH_UTIL_HH
 #define PRI_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/profile.hh"
 
@@ -47,29 +64,97 @@ parseBudget(int argc, char **argv)
     return b;
 }
 
+/** Common harness options: budgets, worker count, JSON sink. */
+struct Options
+{
+    Budget budget;
+    unsigned jobs = 0;     ///< worker threads; 0 = hardware_concurrency
+    std::string jsonPath;  ///< --json FILE: machine-readable results
+};
+
+/** Parse --quick / --full / --jobs N / --json FILE from argv. */
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options o;
+    o.budget = parseBudget(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            o.jsonPath = argv[++i];
+        }
+    }
+    return o;
+}
+
 /** Program seeds every experiment point is averaged over. The same
  *  seeds are used for every scheme, so scheme-vs-scheme comparisons
  *  are paired and generator variance cancels. */
 constexpr uint64_t kSeeds[] = {11, 22, 33};
 
-/** Run one configuration, averaged over kSeeds. */
-inline sim::RunResult
-runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
-       const Budget &budget, unsigned pregs = 64)
+/** One experiment grid point (seed-averaged over kSeeds). */
+struct Point
+{
+    std::string bench;
+    unsigned width = 4;
+    sim::Scheme scheme = sim::Scheme::Base;
+    unsigned pregs = 64;
+};
+
+namespace detail
+{
+
+/** Cache key: every RunParams field that affects the result
+ *  (seed excluded — cached entries are seed averages). */
+using PointKey = std::tuple<std::string, unsigned, int, unsigned,
+                            uint64_t, uint64_t>;
+
+inline PointKey
+keyOf(const Point &pt, const Budget &budget)
+{
+    return {pt.bench, pt.width, static_cast<int>(pt.scheme),
+            pt.pregs, budget.warmup, budget.measure};
+}
+
+inline std::map<PointKey, sim::RunResult> &
+resultCache()
+{
+    static std::map<PointKey, sim::RunResult> cache;
+    return cache;
+}
+
+/** Every cached point in insertion order, for JSON output. */
+inline std::vector<std::pair<PointKey, const sim::RunResult *>> &
+jsonLog()
+{
+    static std::vector<std::pair<PointKey, const sim::RunResult *>> v;
+    return v;
+}
+
+inline sim::RunParams
+paramsFor(const Point &pt, const Budget &budget, uint64_t seed)
 {
     sim::RunParams p;
-    p.benchmark = bench;
-    p.width = width;
-    p.scheme = scheme;
-    p.physRegs = pregs;
+    p.benchmark = pt.bench;
+    p.width = pt.width;
+    p.scheme = pt.scheme;
+    p.physRegs = pt.pregs;
     p.warmupInsts = budget.warmup;
     p.measureInsts = budget.measure;
+    p.seed = seed;
+    return p;
+}
 
+/** Average per-seed results exactly as the serial harnesses always
+ *  have (first result carries the labels and the report). */
+inline sim::RunResult
+averageResults(const std::vector<sim::RunResult> &rs)
+{
     sim::RunResult acc;
     unsigned n = 0;
-    for (uint64_t seed : kSeeds) {
-        p.seed = seed;
-        const auto r = sim::simulate(p);
+    for (const auto &r : rs) {
         if (n == 0) {
             acc = r;
         } else {
@@ -102,6 +187,148 @@ runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
     acc.erEarlyFrees *= inv;
     acc.inlinedFrac *= inv;
     return acc;
+}
+
+inline const sim::RunResult &
+cacheInsert(const PointKey &key, sim::RunResult avg)
+{
+    auto [it, inserted] =
+        resultCache().emplace(key, std::move(avg));
+    if (inserted)
+        jsonLog().emplace_back(it->first, &it->second);
+    return it->second;
+}
+
+} // namespace detail
+
+/**
+ * Run every not-yet-cached point of the list (× kSeeds) through the
+ * thread pool and memoize the seed averages. Results are identical
+ * to on-demand serial evaluation; only wall-clock changes.
+ */
+inline void
+prefetchPoints(const std::vector<Point> &points, const Options &opts)
+{
+    std::vector<Point> todo;
+    std::vector<detail::PointKey> keys;
+    std::vector<sim::RunParams> batch;
+    for (const auto &pt : points) {
+        auto key = detail::keyOf(pt, opts.budget);
+        if (detail::resultCache().count(key))
+            continue;
+        if (std::find(keys.begin(), keys.end(), key) != keys.end())
+            continue;
+        todo.push_back(pt);
+        keys.push_back(key);
+        for (uint64_t seed : kSeeds)
+            batch.push_back(
+                detail::paramsFor(pt, opts.budget, seed));
+    }
+    if (batch.empty())
+        return;
+
+    const auto results = sim::SimulationRunner(opts.jobs).run(batch);
+
+    constexpr size_t n_seeds = std::size(kSeeds);
+    for (size_t i = 0; i < todo.size(); ++i) {
+        std::vector<sim::RunResult> per_seed(
+            results.begin() + i * n_seeds,
+            results.begin() + (i + 1) * n_seeds);
+        detail::cacheInsert(keys[i],
+                            detail::averageResults(per_seed));
+    }
+}
+
+/** Cross-product convenience wrapper over prefetchPoints(). */
+inline void
+prefetchGrid(const std::vector<std::string> &benches,
+             const std::vector<unsigned> &widths,
+             const std::vector<sim::Scheme> &schemes,
+             const Options &opts,
+             const std::vector<unsigned> &pregsList = {64})
+{
+    std::vector<Point> pts;
+    for (const auto &b : benches)
+        for (unsigned w : widths)
+            for (auto s : schemes)
+                for (unsigned pr : pregsList)
+                    pts.push_back(Point{b, w, s, pr});
+    prefetchPoints(pts, opts);
+}
+
+/** Run one configuration, averaged over kSeeds (memoized). */
+inline sim::RunResult
+runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
+       const Budget &budget, unsigned pregs = 64)
+{
+    const Point pt{bench, width, scheme, pregs};
+    const auto key = detail::keyOf(pt, budget);
+    if (auto it = detail::resultCache().find(key);
+        it != detail::resultCache().end()) {
+        return it->second;
+    }
+    std::vector<sim::RunResult> per_seed;
+    per_seed.reserve(std::size(kSeeds));
+    for (uint64_t seed : kSeeds)
+        per_seed.push_back(
+            sim::simulate(detail::paramsFor(pt, budget, seed)));
+    return detail::cacheInsert(
+        key, detail::averageResults(per_seed));
+}
+
+/**
+ * Write every point evaluated so far as a JSON array to
+ * opts.jsonPath (no-op without --json). Each record carries the
+ * full grid coordinates plus the headline metrics, so future PRs
+ * can diff figure data mechanically.
+ */
+inline void
+writeJson(const Options &opts)
+{
+    if (opts.jsonPath.empty())
+        return;
+    std::FILE *f = std::fopen(opts.jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     opts.jsonPath.c_str());
+        return;
+    }
+    std::fprintf(f, "[\n");
+    bool first = true;
+    for (const auto &[key, r] : detail::jsonLog()) {
+        const auto &[bench, width, scheme, pregs, warmup, measure] =
+            key;
+        std::fprintf(
+            f,
+            "%s  {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
+            "\"width\": %u, \"pregs\": %u, "
+            "\"warmup\": %llu, \"measure\": %llu, "
+            "\"ipc\": %.6f, \"cycles\": %llu, \"insts\": %llu, "
+            "\"avgIntOccupancy\": %.4f, \"avgFpOccupancy\": %.4f, "
+            "\"lifeAllocToWrite\": %.4f, "
+            "\"lifeWriteToLastRead\": %.4f, "
+            "\"lifeLastReadToRelease\": %.4f, "
+            "\"branchMispredictRate\": %.6f, "
+            "\"dl1MissRate\": %.6f, \"priEarlyFrees\": %.4f, "
+            "\"erEarlyFrees\": %.4f, \"inlinedFrac\": %.6f}",
+            first ? "" : ",\n", bench.c_str(),
+            sim::schemeName(static_cast<sim::Scheme>(scheme)),
+            width, pregs,
+            static_cast<unsigned long long>(warmup),
+            static_cast<unsigned long long>(measure), r->ipc,
+            static_cast<unsigned long long>(r->cycles),
+            static_cast<unsigned long long>(r->insts),
+            r->avgIntOccupancy, r->avgFpOccupancy,
+            r->lifeAllocToWrite, r->lifeWriteToLastRead,
+            r->lifeLastReadToRelease, r->branchMispredictRate,
+            r->dl1MissRate, r->priEarlyFrees, r->erEarlyFrees,
+            r->inlinedFrac);
+        first = false;
+    }
+    std::fprintf(f, "\n]\n");
+    std::fclose(f);
+    std::printf("wrote %zu experiment points to %s\n",
+                detail::jsonLog().size(), opts.jsonPath.c_str());
 }
 
 /** Geometric mean of a vector of ratios. */

@@ -15,9 +15,10 @@ namespace
 {
 
 void
-runWidth(unsigned width, const pri::bench::Budget &budget)
+runWidth(unsigned width, const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u\n", width);
     std::printf("%-10s %12s %14s %16s %8s\n", "bench",
                 "alloc->write", "write->lastread",
@@ -52,10 +53,13 @@ runWidth(unsigned width, const pri::bench::Budget &budget)
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    const auto opts = pri::bench::parseOptions(argc, argv);
     std::printf("=== Figure 1: average register lifetime, base "
                 "machine, 64 PR ===\n\n");
-    runWidth(4, budget);
-    runWidth(8, budget);
+        pri::bench::prefetchGrid(pri::bench::intBenchmarks(), {4, 8},
+                             {pri::sim::Scheme::Base}, opts);
+    runWidth(4, opts);
+    runWidth(8, opts);
+    pri::bench::writeJson(opts);
     return 0;
 }

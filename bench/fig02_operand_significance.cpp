@@ -6,10 +6,13 @@
  * exponent/significand fields are all-zeroes-or-ones, and the
  * all-zero fraction that the paper's FP inlining rule exploits.
  *
- * This is a pure workload study (functional walk, no timing).
+ * This is a pure workload study (functional walk, no timing). Each
+ * benchmark's walk is independent, so the rows are computed through
+ * SimulationRunner::forEach and printed afterwards in table order.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/bitutils.hh"
@@ -20,14 +23,21 @@ namespace
 
 constexpr uint64_t kInsts = 300000;
 
+struct FpRow
+{
+    double zero = 0.0;
+    double expTrivial = 0.0;
+    double sigTrivial = 0.0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace pri;
-    (void)argc;
-    (void)argv;
+    const auto opts = bench::parseOptions(argc, argv);
+    const sim::SimulationRunner runner(opts.jobs);
 
     std::printf("=== Figure 2: operand significance ===\n\n");
     std::printf("-- integer results: cumulative %% representable in "
@@ -38,33 +48,38 @@ main(int argc, char **argv)
         std::printf(" %5u", c);
     std::printf("\n");
 
-    for (const auto &prof : workload::specIntProfiles()) {
-        workload::SyntheticProgram prog(prof, 42);
+    const auto int_profiles = workload::specIntProfiles();
+    std::vector<StatDistribution> dists(int_profiles.size(),
+                                        StatDistribution(65));
+    runner.forEach(int_profiles.size(), [&](size_t i) {
+        workload::SyntheticProgram prog(int_profiles[i], 42);
         workload::Walker w(prog);
-        StatDistribution dist(65);
-        for (uint64_t i = 0; i < kInsts; ++i) {
+        auto &dist = dists[i];
+        for (uint64_t n = 0; n < kInsts; ++n) {
             auto wi = w.next();
             if (wi.isBranch())
                 w.steer(wi, wi.taken, wi.actualTarget);
             if (wi.hasDst() && wi.dst.cls == isa::RegClass::Int)
                 dist.sample(significantBits(wi.resultValue));
         }
-        std::printf("%-10s", prof.name.c_str());
+    });
+    for (size_t i = 0; i < int_profiles.size(); ++i) {
+        std::printf("%-10s", int_profiles[i].name.c_str());
         for (unsigned c : cols)
-            std::printf(" %5.1f", 100.0 * dist.cdfAt(c));
+            std::printf(" %5.1f", 100.0 * dists[i].cdfAt(c));
         std::printf("\n");
     }
 
     std::printf("\n-- floating point operands --\n");
     std::printf("%-10s %10s %12s %12s\n", "bench", "zero%",
                 "expTrivial%", "sigTrivial%");
-    double zsum = 0, esum = 0, ssum = 0;
-    unsigned n = 0;
-    for (const auto &prof : workload::specFpProfiles()) {
-        workload::SyntheticProgram prog(prof, 42);
+    const auto fp_profiles = workload::specFpProfiles();
+    std::vector<FpRow> rows(fp_profiles.size());
+    runner.forEach(fp_profiles.size(), [&](size_t i) {
+        workload::SyntheticProgram prog(fp_profiles[i], 42);
         workload::Walker w(prog);
         uint64_t fp = 0, zero = 0, etriv = 0, striv = 0;
-        for (uint64_t i = 0; i < kInsts; ++i) {
+        for (uint64_t n = 0; n < kInsts; ++n) {
             auto wi = w.next();
             if (wi.isBranch())
                 w.steer(wi, wi.taken, wi.actualTarget);
@@ -75,16 +90,19 @@ main(int argc, char **argv)
                 striv += fpSignificandTrivial(wi.resultValue);
             }
         }
-        const double fz = 100.0 * zero / fp;
-        const double fe = 100.0 * etriv / fp;
-        const double fs = 100.0 * striv / fp;
+        rows[i] = FpRow{100.0 * zero / fp, 100.0 * etriv / fp,
+                        100.0 * striv / fp};
+    });
+    double zsum = 0, esum = 0, ssum = 0;
+    for (size_t i = 0; i < fp_profiles.size(); ++i) {
         std::printf("%-10s %10.1f %12.1f %12.1f\n",
-                    prof.name.c_str(), fz, fe, fs);
-        zsum += fz;
-        esum += fe;
-        ssum += fs;
-        ++n;
+                    fp_profiles[i].name.c_str(), rows[i].zero,
+                    rows[i].expTrivial, rows[i].sigTrivial);
+        zsum += rows[i].zero;
+        esum += rows[i].expTrivial;
+        ssum += rows[i].sigTrivial;
     }
+    const double n = static_cast<double>(fp_profiles.size());
     std::printf("%-10s %10.1f %12.1f %12.1f\n", "mean", zsum / n,
                 esum / n, ssum / n);
     std::printf("\npaper: ~50%% of FP operands contain only zeroes; "

@@ -14,9 +14,10 @@ namespace
 {
 
 void
-runWidth(unsigned width, const pri::bench::Budget &budget)
+runWidth(unsigned width, const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u  (columns: alloc->write / "
                 "write->lastread / lastread->release)\n",
                 width);
@@ -66,11 +67,18 @@ runWidth(unsigned width, const pri::bench::Budget &budget)
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    const auto opts = pri::bench::parseOptions(argc, argv);
     std::printf("=== Figure 8: reduction in register lifetime ===\n"
                 "(paper: PRI collapses the dominant last-read->"
                 "release phase; PRI+ER trims further)\n\n");
-    runWidth(4, budget);
-    runWidth(8, budget);
+        pri::bench::prefetchGrid(
+        pri::bench::intBenchmarks(), {4, 8},
+        {pri::sim::Scheme::Base,
+         pri::sim::Scheme::PriRefcountCkptcount,
+         pri::sim::Scheme::PriPlusEr},
+        opts);
+    runWidth(4, opts);
+    runWidth(8, opts);
+    pri::bench::writeJson(opts);
     return 0;
 }

@@ -15,9 +15,10 @@ namespace
 constexpr unsigned kSizes[] = {40, 48, 56, 64, 72, 80, 96};
 
 void
-runWidth(unsigned width, const pri::bench::Budget &budget)
+runWidth(unsigned width, const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u  (speedup normalised to PR=40)\n", width);
     std::printf("%-10s", "bench");
     for (unsigned s : kSizes)
@@ -50,11 +51,17 @@ runWidth(unsigned width, const pri::bench::Budget &budget)
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    const auto opts = pri::bench::parseOptions(argc, argv);
     std::printf("=== Figure 9: register file sensitivity study ===\n"
                 "(paper: gains flatten beyond ~64-72 registers at "
                 "4-wide; the 8-wide machine keeps scaling)\n\n");
-    runWidth(4, budget);
-    runWidth(8, budget);
+    pri::bench::prefetchGrid(
+        pri::bench::intBenchmarks(), {4, 8},
+        {pri::sim::Scheme::Base}, opts,
+        std::vector<unsigned>(std::begin(kSizes),
+                              std::end(kSizes)));
+    runWidth(4, opts);
+    runWidth(8, opts);
+    pri::bench::writeJson(opts);
     return 0;
 }

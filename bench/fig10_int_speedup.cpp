@@ -26,9 +26,10 @@ const pri::sim::Scheme kPanel[] = {
 
 void
 runPanel(unsigned width, const std::vector<std::string> &benches,
-         const pri::bench::Budget &budget)
+         const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u  (IPC speedup over Base)\n", width);
     std::printf("%-10s", "bench");
     for (auto s : kPanel)
@@ -60,12 +61,21 @@ runPanel(unsigned width, const std::vector<std::string> &benches,
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    using namespace pri;
+    const auto opts = bench::parseOptions(argc, argv);
     std::printf("=== Figure 10: PRI speedup, integer benchmarks "
                 "===\n(paper averages: ER +3.6%%, PRI ref+ckpt "
                 "+7.3%% @4w / +14.8%% @8w, PRI+ER +8.3%%/+17.5%%, "
                 "InfPR +11%%/+39%%)\n\n");
-    runPanel(4, pri::bench::intBenchmarks(), budget);
-    runPanel(8, pri::bench::intBenchmarks(), budget);
+
+    std::vector<sim::Scheme> schemes{sim::Scheme::Base};
+    schemes.insert(schemes.end(), std::begin(kPanel),
+                   std::end(kPanel));
+    bench::prefetchGrid(bench::intBenchmarks(), {4, 8}, schemes,
+                        opts);
+
+    runPanel(4, bench::intBenchmarks(), opts);
+    runPanel(8, bench::intBenchmarks(), opts);
+    bench::writeJson(opts);
     return 0;
 }

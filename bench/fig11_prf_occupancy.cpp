@@ -20,9 +20,10 @@ const pri::sim::Scheme kPanel[] = {
 };
 
 void
-runWidth(unsigned width, const pri::bench::Budget &budget)
+runWidth(unsigned width, const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u  (average INT PRF occupancy out of 64)\n",
                 width);
     std::printf("%-10s %8s %8s %8s %8s\n", "bench", "Base", "ER",
@@ -49,12 +50,18 @@ runWidth(unsigned width, const pri::bench::Budget &budget)
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    const auto opts = pri::bench::parseOptions(argc, argv);
     std::printf("=== Figure 11: PRF occupancy, integer benchmarks "
                 "===\n(paper: ER/PRI/PRI+ER cut occupancy; the "
                 "reduction is smaller on the 8-wide machine due to "
                 "higher pressure)\n\n");
-    runWidth(4, budget);
-    runWidth(8, budget);
+    pri::bench::prefetchGrid(
+        pri::bench::intBenchmarks(), {4, 8},
+        std::vector<pri::sim::Scheme>(std::begin(kPanel),
+                                      std::end(kPanel)),
+        opts);
+    runWidth(4, opts);
+    runWidth(8, opts);
+    pri::bench::writeJson(opts);
     return 0;
 }

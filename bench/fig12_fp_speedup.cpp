@@ -24,9 +24,10 @@ const pri::sim::Scheme kPanel[] = {
 };
 
 void
-runPanel(unsigned width, const pri::bench::Budget &budget)
+runPanel(unsigned width, const pri::bench::Options &opts)
 {
     using namespace pri;
+    const auto &budget = opts.budget;
     std::printf("width %u  (IPC speedup over Base)\n", width);
     std::printf("%-10s", "bench");
     for (auto s : kPanel)
@@ -58,12 +59,21 @@ runPanel(unsigned width, const pri::bench::Budget &budget)
 int
 main(int argc, char **argv)
 {
-    const auto budget = pri::bench::parseBudget(argc, argv);
+    using namespace pri;
+    const auto opts = bench::parseOptions(argc, argv);
     std::printf("=== Figure 12: PRI speedup, floating point "
                 "benchmarks ===\n(paper averages: PRI ref+ckpt "
                 "+12.0%% @4w / +25.2%% @8w, PRI+ER "
                 "+14.3%%/+35.3%%)\n\n");
-    runPanel(4, budget);
-    runPanel(8, budget);
+
+    std::vector<sim::Scheme> schemes{sim::Scheme::Base};
+    schemes.insert(schemes.end(), std::begin(kPanel),
+                   std::end(kPanel));
+    bench::prefetchGrid(bench::fpBenchmarks(), {4, 8}, schemes,
+                        opts);
+
+    runPanel(4, opts);
+    runPanel(8, opts);
+    bench::writeJson(opts);
     return 0;
 }

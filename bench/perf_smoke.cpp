@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Simulator-throughput smoke test for the parallel experiment
+ * runner and the cycle-loop hot-path work.
+ *
+ * Three measurements, printed as an ASCII table and written to
+ * BENCH_runner.json:
+ *
+ *  1. Serial KIPS: simulated kilo-instructions committed per
+ *     wall-clock second for a batch of runs on one thread.
+ *  2. Parallel KIPS: the same batch through SimulationRunner with
+ *     the requested --jobs (default hardware_concurrency).
+ *  3. Cycle-loop allocations: heap allocations per simulated cycle
+ *     and scratch-buffer regrowths in the measurement window with
+ *     the legacy allocate-per-cycle path (hoistScratch=false)
+ *     versus the hoisted member buffers (hoistScratch=true). The
+ *     hoisted path must report zero steady-state regrowths.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/core.hh"
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "workload/program.hh"
+
+namespace
+{
+
+/** Global allocation counter fed by the operator-new overrides. */
+std::atomic<uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace pri;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<sim::RunParams>
+makeBatch(const bench::Budget &budget)
+{
+    std::vector<sim::RunParams> batch;
+    for (const auto &name : bench::intBenchmarks()) {
+        for (auto scheme :
+             {sim::Scheme::Base, sim::Scheme::PriRefcountLazy}) {
+            sim::RunParams p;
+            p.benchmark = name;
+            p.scheme = scheme;
+            p.warmupInsts = budget.warmup;
+            p.measureInsts = budget.measure;
+            batch.push_back(p);
+        }
+    }
+    return batch;
+}
+
+uint64_t
+simulatedInsts(const std::vector<sim::RunResult> &results)
+{
+    uint64_t n = 0;
+    for (const auto &r : results)
+        n += r.insts;
+    return n;
+}
+
+struct AllocProbe
+{
+    double allocsPerCycle = 0.0;
+    uint64_t scratchGrowths = 0;
+    uint64_t cycles = 0;
+};
+
+/** Measure steady-state heap traffic of the core's cycle loop. */
+AllocProbe
+probeCycleLoop(bool hoist, const bench::Budget &budget)
+{
+    const auto &profile = workload::profileByName("gzip");
+    workload::SyntheticProgram program(profile, 11);
+
+    const unsigned narrow = core::CoreConfig::narrowBitsForWidth(4);
+    auto cfg = core::CoreConfig::fourWide(
+        rename::RenameConfig::base(64, narrow));
+    cfg.hoistScratch = hoist;
+
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, program, stats);
+
+    // Warm up: any one-time buffer growth happens here.
+    cpu.run(budget.warmup);
+    cpu.beginMeasurement();
+
+    const uint64_t c0 = cpu.cycles();
+    const uint64_t g0 = static_cast<uint64_t>(
+        stats.scalarValue("core.scratchGrowths"));
+    const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+
+    cpu.run(budget.measure);
+
+    AllocProbe probe;
+    probe.cycles = cpu.cycles() - c0;
+    probe.scratchGrowths = static_cast<uint64_t>(
+        stats.scalarValue("core.scratchGrowths")) - g0;
+    const uint64_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.allocsPerCycle = probe.cycles > 0
+        ? static_cast<double>(allocs) /
+            static_cast<double>(probe.cycles)
+        : 0.0;
+    return probe;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    const unsigned jobs =
+        opts.jobs ? opts.jobs : sim::defaultJobs();
+
+    std::printf("== Simulator throughput smoke test ==\n");
+    std::printf("warmup %llu, measure %llu insts per run\n\n",
+                static_cast<unsigned long long>(opts.budget.warmup),
+                static_cast<unsigned long long>(
+                    opts.budget.measure));
+
+    const auto batch = makeBatch(opts.budget);
+
+    auto t0 = Clock::now();
+    const auto serial = sim::SimulationRunner(1).run(batch);
+    const double serial_s = secondsSince(t0);
+    const double serial_kips =
+        simulatedInsts(serial) / serial_s / 1000.0;
+
+    t0 = Clock::now();
+    const auto par = sim::SimulationRunner(jobs).run(batch);
+    const double par_s = secondsSince(t0);
+    const double par_kips = simulatedInsts(par) / par_s / 1000.0;
+
+    std::printf("%-28s %10s %10s\n", "configuration", "KIPS",
+                "seconds");
+    std::printf("%-28s %10.1f %10.2f\n", "serial (--jobs 1)",
+                serial_kips, serial_s);
+    char label[64];
+    std::snprintf(label, sizeof(label), "parallel (--jobs %u)",
+                  jobs);
+    std::printf("%-28s %10.1f %10.2f\n", label, par_kips, par_s);
+    std::printf("speedup: %.2fx over %zu runs\n\n",
+                par_kips / serial_kips, batch.size());
+
+    const auto legacy = probeCycleLoop(false, opts.budget);
+    const auto hoisted = probeCycleLoop(true, opts.budget);
+
+    std::printf("%-28s %14s %14s\n", "cycle-loop heap traffic",
+                "allocs/cycle", "scratchGrowths");
+    std::printf("%-28s %14.4f %14llu\n", "legacy (hoistScratch=off)",
+                legacy.allocsPerCycle,
+                static_cast<unsigned long long>(
+                    legacy.scratchGrowths));
+    std::printf("%-28s %14.4f %14llu\n", "hoisted (hoistScratch=on)",
+                hoisted.allocsPerCycle,
+                static_cast<unsigned long long>(
+                    hoisted.scratchGrowths));
+    if (hoisted.scratchGrowths != 0) {
+        std::printf("FAIL: hoisted path regrew scratch buffers in "
+                    "the measurement window\n");
+        return 1;
+    }
+    std::printf("hoisted path: zero steady-state scratch "
+                "allocations over %llu cycles\n",
+                static_cast<unsigned long long>(hoisted.cycles));
+
+    const std::string json_path =
+        opts.jsonPath.empty() ? "BENCH_runner.json" : opts.jsonPath;
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"jobs\": %u,\n"
+            "  \"runs\": %zu,\n"
+            "  \"serialKips\": %.1f,\n"
+            "  \"parallelKips\": %.1f,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"legacyAllocsPerCycle\": %.4f,\n"
+            "  \"legacyScratchGrowths\": %llu,\n"
+            "  \"hoistedAllocsPerCycle\": %.4f,\n"
+            "  \"hoistedScratchGrowths\": %llu,\n"
+            "  \"measuredCycles\": %llu\n"
+            "}\n",
+            jobs, batch.size(), serial_kips, par_kips,
+            par_kips / serial_kips, legacy.allocsPerCycle,
+            static_cast<unsigned long long>(legacy.scratchGrowths),
+            hoisted.allocsPerCycle,
+            static_cast<unsigned long long>(hoisted.scratchGrowths),
+            static_cast<unsigned long long>(hoisted.cycles));
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -17,7 +17,13 @@ int
 main(int argc, char **argv)
 {
     using namespace pri;
-    const auto budget = bench::parseBudget(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
+    const auto &budget = opts.budget;
+
+    std::vector<std::string> all;
+    for (const auto &prof : workload::allProfiles())
+        all.push_back(prof.name);
+    bench::prefetchGrid(all, {4, 8}, {sim::Scheme::Base}, opts);
 
     std::printf("=== Table 2: benchmark programs simulated "
                 "(base IPC) ===\n\n");
@@ -35,5 +41,6 @@ main(int argc, char **argv)
                                                        : "fp",
                     r4.ipc, prof.paperIpc4, r8.ipc, prof.paperIpc8);
     }
+    bench::writeJson(opts);
     return 0;
 }

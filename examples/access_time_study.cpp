@@ -16,8 +16,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "rename/prf_model.hh"
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 
 int
@@ -32,12 +34,24 @@ main(int argc, char **argv)
     p.benchmark = bench;
     p.width = width;
 
-    // 1. Reference points.
+    // 1. Reference points and the PRI downsizing sweep, dispatched
+    //    as one batch through the parallel runner (the sweep points
+    //    are independent; the first match is picked afterwards).
+    std::vector<sim::RunParams> batch;
     p.physRegs = 64;
     p.scheme = sim::Scheme::Base;
-    const auto base64 = sim::simulate(p);
+    batch.push_back(p);
     p.scheme = sim::Scheme::PriRefcountCkptcount;
-    const auto pri64 = sim::simulate(p);
+    batch.push_back(p);
+    std::vector<unsigned> sweep;
+    for (unsigned r = 40; r <= 64; r += 4) {
+        p.physRegs = r;
+        batch.push_back(p);
+        sweep.push_back(r);
+    }
+    const auto results = sim::SimulationRunner().run(batch);
+    const auto &base64 = results[0];
+    const auto &pri64 = results[1];
 
     std::printf("Access-time study: %s, %u-wide\n\n", bench.c_str(),
                 width);
@@ -49,12 +63,9 @@ main(int argc, char **argv)
     // 2. How small can a PRI register file be and still match the
     //    conventional 64-entry design?
     unsigned pri_match = 64;
-    for (unsigned r = 40; r <= 64; r += 4) {
-        p.physRegs = r;
-        p.scheme = sim::Scheme::PriRefcountCkptcount;
-        const auto rr = sim::simulate(p);
-        if (rr.ipc >= base64.ipc) {
-            pri_match = r;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        if (results[2 + i].ipc >= base64.ipc) {
+            pri_match = sweep[i];
             break;
         }
     }

@@ -10,8 +10,11 @@
  */
 
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 #include "core/core.hh"
+#include "sim/runner.hh"
 #include "workload/program.hh"
 
 int
@@ -53,10 +56,17 @@ main()
             cpu.ipc(), cpu.avgIntOccupancy(), cpu.avgFpOccupancy());
     };
 
-    const auto [base_ipc, base_iocc, base_focc] =
-        run(rename::RenameConfig::base(64, 7));
-    const auto [pri_ipc, pri_iocc, pri_focc] =
-        run(rename::RenameConfig::priRefcountCkptcount(64, 7));
+    // The two configurations are independent; fan them out across
+    // the runner's thread pool (each run builds its own core).
+    const rename::RenameConfig configs[] = {
+        rename::RenameConfig::base(64, 7),
+        rename::RenameConfig::priRefcountCkptcount(64, 7),
+    };
+    std::vector<std::tuple<double, double, double>> out(2);
+    sim::SimulationRunner().forEach(
+        2, [&](size_t i) { out[i] = run(configs[i]); });
+    const auto [base_ipc, base_iocc, base_focc] = out[0];
+    const auto [pri_ipc, pri_iocc, pri_focc] = out[1];
 
     // 3. Report.
     std::printf("custom workload '%s' on the 4-wide machine:\n\n",

@@ -10,7 +10,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 
 int
@@ -31,14 +33,16 @@ main(int argc, char **argv)
     params.width = width;
     params.checkInvariants = true;
 
-    params.scheme = sim::Scheme::Base;
-    const auto base = sim::simulate(params);
-
-    params.scheme = sim::Scheme::PriRefcountCkptcount;
-    const auto pri = sim::simulate(params);
-
-    params.scheme = sim::Scheme::InfinitePregs;
-    const auto inf = sim::simulate(params);
+    // The three schemes are independent runs — dispatch them as one
+    // batch through the parallel runner.
+    std::vector<sim::RunParams> batch(3, params);
+    batch[0].scheme = sim::Scheme::Base;
+    batch[1].scheme = sim::Scheme::PriRefcountCkptcount;
+    batch[2].scheme = sim::Scheme::InfinitePregs;
+    const auto results = sim::SimulationRunner().run(batch);
+    const auto &base = results[0];
+    const auto &pri = results[1];
+    const auto &inf = results[2];
 
     std::printf("%-26s %8s %10s %10s %9s\n", "scheme", "IPC",
                 "occupancy", "phase3", "speedup");

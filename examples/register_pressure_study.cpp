@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 
 int
@@ -32,31 +34,48 @@ main(int argc, char **argv)
     p.benchmark = bench;
     p.width = width;
 
-    double pri64 = 0.0;
-    for (unsigned pr : {40u, 48u, 56u, 64u, 72u, 80u, 96u, 128u}) {
+    // Batch the whole (PR x {Base,PRI}) sweep through the runner.
+    const unsigned sweep[] = {40, 48, 56, 64, 72, 80, 96, 128};
+    const sim::SimulationRunner runner;
+    std::vector<sim::RunParams> batch;
+    for (unsigned pr : sweep) {
         p.physRegs = pr;
         p.scheme = sim::Scheme::Base;
-        const auto base = sim::simulate(p);
+        batch.push_back(p);
         p.scheme = sim::Scheme::PriRefcountCkptcount;
-        const auto pri = sim::simulate(p);
-        if (pr == 64)
+        batch.push_back(p);
+    }
+    const auto results = runner.run(batch);
+
+    double pri64 = 0.0;
+    for (size_t i = 0; i < std::size(sweep); ++i) {
+        const auto &base = results[2 * i];
+        const auto &pri = results[2 * i + 1];
+        if (sweep[i] == 64)
             pri64 = pri.ipc;
-        std::printf("%6u %12.3f %12.3f %13.1f%% %12.1f\n", pr,
+        std::printf("%6u %12.3f %12.3f %13.1f%% %12.1f\n", sweep[i],
                     base.ipc, pri.ipc,
                     100.0 * (pri.ipc / base.ipc - 1.0),
                     base.avgIntOccupancy);
     }
 
     // How many base registers is PRI worth? Find the smallest Base
-    // register file whose IPC matches PRI at 64.
+    // register file whose IPC matches PRI at 64. The candidates are
+    // independent, so run the whole 64..160 search as one batch and
+    // take the first match.
     std::printf("\nPRI at 64 registers achieves IPC %.3f — "
                 "equivalent to a larger conventional file:\n",
                 pri64);
     p.scheme = sim::Scheme::Base;
+    std::vector<sim::RunParams> search;
     for (unsigned pr = 64; pr <= 160; pr += 8) {
         p.physRegs = pr;
-        const auto base = sim::simulate(p);
-        if (base.ipc >= pri64) {
+        search.push_back(p);
+    }
+    const auto matches = runner.run(search);
+    for (size_t i = 0; i < matches.size(); ++i) {
+        if (matches[i].ipc >= pri64) {
+            const unsigned pr = search[i].physRegs;
             std::printf("  Base needs ~%u registers per class to "
                         "match (PRI saves ~%u)\n",
                         pr, pr - 64);

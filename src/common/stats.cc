@@ -2,8 +2,28 @@
 
 #include <cstdio>
 
+#include "common/logging.hh"
+
 namespace pri
 {
+
+StatScalar &
+StatGroup::registerScalar(const std::string &name)
+{
+    auto [it, inserted] = scalars.try_emplace(name);
+    if (!inserted)
+        panic("duplicate scalar stat registration: {}", name);
+    return it->second;
+}
+
+StatAverage &
+StatGroup::registerAverage(const std::string &name)
+{
+    auto [it, inserted] = avgs.try_emplace(name);
+    if (!inserted)
+        panic("duplicate average stat registration: {}", name);
+    return it->second;
+}
 
 double
 StatGroup::scalarValue(const std::string &name) const

@@ -153,6 +153,17 @@ class StatGroup
     StatScalar &scalar(const std::string &name) { return scalars[name]; }
     /** Create or fetch an average stat. */
     StatAverage &average(const std::string &name) { return avgs[name]; }
+
+    /**
+     * Register a brand-new scalar, panicking if @p name already
+     * exists. Components intern their hot-path counters through
+     * this at construction time and keep the returned reference —
+     * updates then cost one add, never a map lookup. References
+     * stay valid for the StatGroup's lifetime (node-based map).
+     */
+    StatScalar &registerScalar(const std::string &name);
+    /** Register a brand-new average; panics on duplicates. */
+    StatAverage &registerAverage(const std::string &name);
     /** Create or fetch a distribution stat. */
     StatDistribution &
     distribution(const std::string &name)

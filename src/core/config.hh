@@ -47,6 +47,15 @@ struct CoreConfig
     unsigned redirectPenalty = 2; ///< resolve -> fetch restart
     unsigned btbMissPenalty = 2;  ///< taken branch without a target
 
+    /**
+     * Reuse the per-cycle scratch buffers (event drain list, squash
+     * free list) across cycles instead of allocating fresh vectors.
+     * Timing-neutral; only simulator speed changes. The legacy
+     * allocate-per-cycle path is kept so bench/perf_smoke can
+     * measure the allocation churn the hoist removes.
+     */
+    bool hoistScratch = true;
+
     /** Fetch-buffer capacity between fetch and rename. */
     unsigned fetchQueueSize() const { return 3 * width; }
 

@@ -8,18 +8,54 @@
 namespace pri::core
 {
 
+CoreStats::CoreStats(StatGroup &sg)
+    : replays(sg.scalar("core.replays")),
+      loadForwards(sg.scalar("core.loadForwards")),
+      loadMisses(sg.scalar("core.loadMisses")),
+      branchMispredicts(sg.scalar("core.branchMispredicts")),
+      targetMispredicts(sg.scalar("core.targetMispredicts")),
+      squashedInsts(sg.scalar("core.squashedInsts")),
+      committedBranches(sg.scalar("core.committedBranches")),
+      committedInsts(sg.scalar("core.committedInsts")),
+      issuedInsts(sg.scalar("core.issuedInsts")),
+      stallRobFull(sg.scalar("core.stallRobFull")),
+      stallSchedFull(sg.scalar("core.stallSchedFull")),
+      stallLsqFull(sg.scalar("core.stallLsqFull")),
+      stallNoPregInt(sg.scalar("core.stallNoPregInt")),
+      stallNoPregFp(sg.scalar("core.stallNoPregFp")),
+      renamedInsts(sg.scalar("core.renamedInsts")),
+      fetchStallCycles(sg.scalar("core.fetchStallCycles")),
+      icacheMissStalls(sg.scalar("core.icacheMissStalls")),
+      btbMisses(sg.scalar("core.btbMisses")),
+      fetchedInsts(sg.scalar("core.fetchedInsts")),
+      scratchGrowths(sg.scalar("core.scratchGrowths"))
+{
+}
+
 OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
                                const workload::SyntheticProgram &program,
                                StatGroup &stats)
-    : cfg(config), sg(stats), prog(program), walker(program),
-      rn(config.rename, stats), mem(config.mem), lsq(config.lsqSize),
-      rob(config.robSize)
+    : cfg(config), sg(stats), st(stats), prog(program),
+      walker(program), rn(config.rename, stats), mem(config.mem),
+      lsq(config.lsqSize), rob(config.robSize)
 {
     for (auto cls : {0, 1}) {
         specAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
         actualAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
     }
     schedQueue.reserve(cfg.schedSize);
+
+    // Pre-size the cycle-loop buffers so the steady state never
+    // touches the heap. Each in-flight instruction has at most one
+    // outstanding wheel event, so robSize bounds per-slot demand
+    // (squash-stale entries aside, which core.scratchGrowths would
+    // expose).
+    if (cfg.hoistScratch) {
+        for (auto &slot : wheel)
+            slot.reserve(cfg.robSize);
+        eventScratch.reserve(cfg.robSize);
+        freedScratch.reserve(cfg.robSize);
+    }
 
     // Ideal-PRI payload rewrite: convert every in-flight consumer of
     // (cls, preg) to carry the inlined immediate (paper §3.3's
@@ -97,8 +133,10 @@ OutOfOrderCore::scheduleEvent(uint64_t when, EventType type,
 {
     PRI_ASSERT(when > cycle && when - cycle < kWheelSize,
                "event beyond wheel horizon");
-    wheel[when % kWheelSize].push_back(
-        Event{type, idx, rob[idx].slotGen});
+    auto &slot = wheel[when % kWheelSize];
+    if (slot.size() == slot.capacity())
+        ++st.scratchGrowths;
+    slot.push_back(Event{type, idx, rob[idx].slotGen});
 }
 
 void
@@ -174,10 +212,25 @@ void
 OutOfOrderCore::processEvents()
 {
     auto &slot = wheel[cycle % kWheelSize];
+    if (slot.empty())
+        return;
     // Squashes triggered inside may invalidate later events in this
-    // slot; the slotGen check filters them.
-    std::vector<Event> events;
-    events.swap(slot);
+    // slot; the slotGen check filters them. Draining by copy + clear
+    // (rather than a capacity-stealing swap) lets every wheel slot
+    // keep the capacity it has grown, so once warmed up neither the
+    // slots nor the scratch buffer ever reallocate.
+    std::vector<Event> local;
+    std::vector<Event> &events =
+        cfg.hoistScratch ? eventScratch : local;
+    events.clear();
+    if (cfg.hoistScratch) {
+        if (slot.size() > events.capacity())
+            ++st.scratchGrowths;
+        events.insert(events.end(), slot.begin(), slot.end());
+        slot.clear();
+    } else {
+        events.swap(slot);
+    }
     // Completions must be visible before same-cycle execution
     // starts: a dependent beginning execution this cycle picks its
     // operand off the bypass network from a producer completing this
@@ -211,7 +264,7 @@ OutOfOrderCore::processEvents()
 void
 OutOfOrderCore::replayInst(RobEntry &e, uint32_t idx)
 {
-    sg.scalar("core.replays") += 1;
+    ++st.replays;
     e.replays += 1;
     if (e.hasDst) {
         specAvail(e.dst.cls, e.dstPreg) = kNever;
@@ -248,12 +301,12 @@ OutOfOrderCore::onExeStart(RobEntry &e, uint32_t idx)
         unsigned mem_lat;
         if (fwd) {
             mem_lat = cfg.mem.dl1.latency;
-            sg.scalar("core.loadForwards") += 1;
+            ++st.loadForwards;
         } else {
             mem_lat = mem.dataAccess(e.wi.memAddr, false);
         }
         if (mem_lat > cfg.mem.dl1.latency)
-            sg.scalar("core.loadMisses") += 1;
+            ++st.loadMisses;
         lat = 1 + mem_lat;
     } else {
         lat = isa::execLatency(e.wi.cls);
@@ -336,9 +389,9 @@ OutOfOrderCore::resolveBranch(RobEntry &e, uint32_t idx)
     }
 
     e.resolvedMispredict = true;
-    sg.scalar("core.branchMispredicts") += 1;
+    ++st.branchMispredicts;
     if (target_wrong)
-        sg.scalar("core.targetMispredicts") += 1;
+        ++st.targetMispredicts;
 
     squashAfter(idx);
 
@@ -371,13 +424,10 @@ void
 OutOfOrderCore::squashAfter(uint32_t branch_idx)
 {
     const uint32_t stop = (branch_idx + 1) % cfg.robSize;
-    struct Freed
-    {
-        isa::RegClass cls;
-        isa::PhysRegId preg;
-        uint64_t gen;
-    };
-    std::vector<Freed> to_free;
+    std::vector<Freed> local;
+    std::vector<Freed> &to_free =
+        cfg.hoistScratch ? freedScratch : local;
+    to_free.clear();
 
     while (robTail != stop) {
         const uint32_t last =
@@ -388,9 +438,12 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
             rn.consumerSquashed(s);
         if (y.isBranch)
             rn.discardCheckpoint(y.ckptId);
-        if (y.hasDst)
+        if (y.hasDst) {
+            if (to_free.size() == to_free.capacity())
+                ++st.scratchGrowths;
             to_free.push_back(
                 Freed{y.dst.cls, y.dstPreg, y.dstGen});
+        }
         if (y.heldSlot) {
             y.heldSlot = false;
             --schedHeld;
@@ -399,7 +452,7 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
         y.slotGen += 1;
         robTail = last;
         --robCount;
-        sg.scalar("core.squashedInsts") += 1;
+        ++st.squashedInsts;
     }
 
     lsq.squashYounger(rob[branch_idx].wi.seq);
@@ -442,7 +495,7 @@ OutOfOrderCore::commitStage()
             PRI_ASSERT(e.ckptResolved,
                        "branch committed before it resolved");
             rn.releaseCheckpoint(e.ckptId);
-            sg.scalar("core.committedBranches") += 1;
+            ++st.committedBranches;
         }
 
         e.valid = false;
@@ -451,7 +504,7 @@ OutOfOrderCore::commitStage()
         --robCount;
         ++nCommitted;
         lastCommitCycle = cycle;
-        sg.scalar("core.committedInsts") += 1;
+        ++st.committedInsts;
     }
 }
 
@@ -508,7 +561,7 @@ OutOfOrderCore::selectStage()
         scheduleEvent(cycle + cfg.selectToExe, EventType::ExeStart,
                       idx);
         it = schedQueue.erase(it);
-        sg.scalar("core.issuedInsts") += 1;
+        ++st.issuedInsts;
     }
 }
 
@@ -528,21 +581,20 @@ OutOfOrderCore::renameStage()
 
         const auto &wi = f.wi;
         if (robCount == cfg.robSize) {
-            sg.scalar("core.stallRobFull") += 1;
+            ++st.stallRobFull;
             return;
         }
         if (schedQueue.size() + schedHeld >= cfg.schedSize) {
-            sg.scalar("core.stallSchedFull") += 1;
+            ++st.stallSchedFull;
             return;
         }
         if (isa::isMem(wi.cls) && lsq.full()) {
-            sg.scalar("core.stallLsqFull") += 1;
+            ++st.stallLsqFull;
             return;
         }
         if (wi.hasDst() && !rn.canRename(wi.dst.cls)) {
-            sg.scalar(wi.dst.cls == isa::RegClass::Int
-                          ? "core.stallNoPregInt"
-                          : "core.stallNoPregFp") += 1;
+            ++(wi.dst.cls == isa::RegClass::Int
+                   ? st.stallNoPregInt : st.stallNoPregFp);
             return;
         }
 
@@ -604,7 +656,7 @@ OutOfOrderCore::renameStage()
         robTail = (robTail + 1) % cfg.robSize;
         ++robCount;
         fetchQueue.pop_front();
-        sg.scalar("core.renamedInsts") += 1;
+        ++st.renamedInsts;
     }
 }
 
@@ -616,7 +668,7 @@ void
 OutOfOrderCore::fetchStage()
 {
     if (cycle < fetchResumeCycle) {
-        sg.scalar("core.fetchStallCycles") += 1;
+        ++st.fetchStallCycles;
         return;
     }
     if (fetchQueue.size() >= cfg.fetchQueueSize())
@@ -627,7 +679,7 @@ OutOfOrderCore::fetchStage()
     const unsigned ilat = mem.instAccess(fetch_pc);
     if (ilat > cfg.mem.il1.latency) {
         fetchResumeCycle = cycle + (ilat - cfg.mem.il1.latency);
-        sg.scalar("core.icacheMissStalls") += 1;
+        ++st.icacheMissStalls;
         return;
     }
 
@@ -665,7 +717,7 @@ OutOfOrderCore::fetchStage()
                     // short fetch bubble while decode computes it.
                     fetchResumeCycle =
                         cycle + 1 + cfg.btbMissPenalty;
-                    sg.scalar("core.btbMisses") += 1;
+                    ++st.btbMisses;
                 }
             }
             f.predTaken = pred_taken;
@@ -680,7 +732,7 @@ OutOfOrderCore::fetchStage()
 
             f.wi = wi;
             fetchQueue.push_back(f);
-            sg.scalar("core.fetchedInsts") += 1;
+            ++st.fetchedInsts;
             if (pred_taken) {
                 // Fetch stops at the first taken branch in a cycle.
                 return;
@@ -690,7 +742,7 @@ OutOfOrderCore::fetchStage()
 
         f.wi = wi;
         fetchQueue.push_back(f);
-        sg.scalar("core.fetchedInsts") += 1;
+        ++st.fetchedInsts;
     }
 }
 

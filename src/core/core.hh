@@ -82,6 +82,40 @@ struct RobEntry
     bool hasLsq = false;
 };
 
+/**
+ * Hot-path counters interned against the StatGroup once at core
+ * construction. The cycle loop updates these through the cached
+ * references; the string-keyed map is only consulted when stats are
+ * read out by name (StatGroup::scalarValue / report).
+ */
+struct CoreStats
+{
+    explicit CoreStats(StatGroup &sg);
+
+    StatScalar &replays;
+    StatScalar &loadForwards;
+    StatScalar &loadMisses;
+    StatScalar &branchMispredicts;
+    StatScalar &targetMispredicts;
+    StatScalar &squashedInsts;
+    StatScalar &committedBranches;
+    StatScalar &committedInsts;
+    StatScalar &issuedInsts;
+    StatScalar &stallRobFull;
+    StatScalar &stallSchedFull;
+    StatScalar &stallLsqFull;
+    StatScalar &stallNoPregInt;
+    StatScalar &stallNoPregFp;
+    StatScalar &renamedInsts;
+    StatScalar &fetchStallCycles;
+    StatScalar &icacheMissStalls;
+    StatScalar &btbMisses;
+    StatScalar &fetchedInsts;
+    /** Reallocations of cycle-loop scratch/wheel buffers. Zero in
+     *  steady state once the buffers are hoisted and warmed up. */
+    StatScalar &scratchGrowths;
+};
+
 /** Execution-driven out-of-order core simulator. */
 class OutOfOrderCore
 {
@@ -132,6 +166,14 @@ class OutOfOrderCore
         uint64_t slotGen;
     };
 
+    /** A squashed destination awaiting its free-list return. */
+    struct Freed
+    {
+        isa::RegClass cls;
+        isa::PhysRegId preg;
+        uint64_t gen;
+    };
+
     // --- pipeline stages (called once per cycle) ---
     void processEvents();
     void commitStage();
@@ -159,6 +201,7 @@ class OutOfOrderCore
 
     CoreConfig cfg;
     StatGroup &sg;
+    CoreStats st;
     const workload::SyntheticProgram &prog;
     workload::Walker walker;
     rename::RenameUnit rn;
@@ -207,6 +250,13 @@ class OutOfOrderCore
     // Event wheel.
     static constexpr unsigned kWheelSize = 1024;
     std::array<std::vector<Event>, kWheelSize> wheel;
+
+    // Per-cycle scratch, hoisted out of the cycle loop so steady
+    // state allocates nothing (cfg.hoistScratch). The buffers trade
+    // storage with their producers (wheel slot / local) via swap,
+    // so capacity is retained and recirculated.
+    std::vector<Event> eventScratch;
+    std::vector<Freed> freedScratch;
 
     uint64_t cycle = 0;
     uint64_t nCommitted = 0;

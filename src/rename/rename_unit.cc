@@ -118,6 +118,38 @@ RenameConfig::virtualPhysPlusPri(unsigned pregs,
 // RenameUnit
 // ---------------------------------------------------------------
 
+RenameStats::RenameStats(StatGroup &sg)
+    : cycles(sg.scalar("rename.cycles")),
+      occupancyIntAccum(sg.scalar("rename.occupancyIntAccum")),
+      occupancyFpAccum(sg.scalar("rename.occupancyFpAccum")),
+      srcImmReads(sg.scalar("rename.srcImmReads")),
+      srcPregReads(sg.scalar("rename.srcPregReads")),
+      destAllocs(sg.scalar("rename.destAllocs")),
+      checkpointsCreated(sg.scalar("rename.checkpointsCreated")),
+      checkpointsSquashed(sg.scalar("rename.checkpointsSquashed")),
+      checkpointsRestored(sg.scalar("rename.checkpointsRestored")),
+      narrowResultsInt(sg.scalar("pri.narrowResultsInt")),
+      narrowResultsFp(sg.scalar("pri.narrowResultsFp")),
+      inlinedCurrentMap(sg.scalar("pri.inlinedCurrentMap")),
+      narrowButRemapped(sg.scalar("pri.narrowButRemapped")),
+      lazyCkptUpdates(sg.scalar("pri.lazyCkptUpdates")),
+      idealPayloadRewrites(sg.scalar("pri.idealPayloadRewrites")),
+      vpWritebackStalls(sg.scalar("vp.writebackStalls")),
+      vpEmergencyClaims(sg.scalar("vp.emergencyClaims")),
+      vpStorageClaims(sg.scalar("vp.storageClaims")),
+      commitPrevWasImm(sg.scalar("rename.commitPrevWasImm")),
+      duplicateCommitFrees(sg.scalar("rename.duplicateCommitFrees")),
+      squashDuplicateFrees(sg.scalar("rename.squashDuplicateFrees")),
+      priEarlyFrees(sg.scalar("pri.earlyFrees")),
+      erEarlyFrees(sg.scalar("er.earlyFrees")),
+      frees(sg.scalar("rename.frees")),
+      lifeAllocToWrite(sg.average("lifetime.allocToWrite")),
+      lifeWriteToLastRead(sg.average("lifetime.writeToLastRead")),
+      lifeLastReadToRelease(sg.average("lifetime.lastReadToRelease")),
+      lifeTotal(sg.average("lifetime.total"))
+{
+}
+
 RenameUnit::RenameUnit(const RenameConfig &config, StatGroup &sg)
     : cfg(config), stats(sg),
       intState(config.renameTagSpace(), isa::kNumLogicalRegs),
@@ -180,11 +212,11 @@ void
 RenameUnit::beginCycle(uint64_t cycle)
 {
     now = cycle;
-    stats.scalar("rename.cycles") += 1;
-    stats.scalar("rename.occupancyIntAccum") +=
+    ++stats.cycles;
+    stats.occupancyIntAccum +=
         cfg.virtualPhysical ? intState.storageUsed
                             : intState.freeList.numAllocated();
-    stats.scalar("rename.occupancyFpAccum") +=
+    stats.occupancyFpAccum +=
         cfg.virtualPhysical ? fpState.storageUsed
                             : fpState.freeList.numAllocated();
 }
@@ -208,7 +240,7 @@ RenameUnit::readSrc(isa::RegId src)
     if (e.imm) {
         r.imm = true;
         r.value = e.value;
-        stats.scalar("rename.srcImmReads") += 1;
+        ++stats.srcImmReads;
         return r;
     }
     r.preg = e.preg;
@@ -216,7 +248,7 @@ RenameUnit::readSrc(isa::RegId src)
     r.value = info.value;
     info.consumerRefs += 1;
     r.refHeld = true;
-    stats.scalar("rename.srcPregReads") += 1;
+    ++stats.srcPregReads;
     return r;
 }
 
@@ -265,7 +297,7 @@ RenameUnit::renameDest(isa::RegId dst, uint64_t future_value)
     out.preg = p;
     out.gen = info.gen;
     st.map.write(dst.idx, MapEntry::makePreg(p));
-    stats.scalar("rename.destAllocs") += 1;
+    ++stats.destAllocs;
 
     // The unmapped previous register may now satisfy ER conditions.
     if (!out.prev.imm)
@@ -283,7 +315,7 @@ RenameUnit::createCheckpoint()
     if (useCkptRefs())
         takeCkptRefs(c, +1);
     ckpts.emplace(id, std::move(c));
-    stats.scalar("rename.checkpointsCreated") += 1;
+    ++stats.checkpointsCreated;
     return id;
 }
 
@@ -355,7 +387,7 @@ RenameUnit::discardCheckpoint(CkptId id)
     ckpts.erase(it);
     if (cfg.earlyRelease && was_oldest)
         sweepErFrees();
-    stats.scalar("rename.checkpointsSquashed") += 1;
+    ++stats.checkpointsSquashed;
 }
 
 void
@@ -403,7 +435,7 @@ RenameUnit::restoreCheckpoint(CkptId id)
                 tryFree(cls, snap[i].preg);
         }
     }
-    stats.scalar("rename.checkpointsRestored") += 1;
+    ++stats.checkpointsRestored;
 }
 
 void
@@ -459,9 +491,8 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
         info.writeCycle = now;
 
     if (first_attempt && cfg.pri && isNarrow(dst.cls, value)) {
-        stats.scalar(dst.cls == isa::RegClass::Int
-                         ? "pri.narrowResultsInt"
-                         : "pri.narrowResultsFp") += 1;
+        ++(dst.cls == isa::RegClass::Int ? stats.narrowResultsInt
+                                      : stats.narrowResultsFp);
 
         // Figure 7 WAW check on the current map: inline only if the
         // entry still names this register.
@@ -470,9 +501,9 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
             st.map.write(dst.idx, MapEntry::makeImm(value));
             info.mappedBy = -1;
             info.erUnmapWatermark = nextCkptId - 1;
-            stats.scalar("pri.inlinedCurrentMap") += 1;
+            ++stats.inlinedCurrentMap;
         } else {
-            stats.scalar("pri.narrowButRemapped") += 1;
+            ++stats.narrowButRemapped;
         }
 
         // Lazy scheme: walk every checkpointed copy and apply the
@@ -488,7 +519,7 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
                         info.ckptRefs -= 1;
                     }
                     e = MapEntry::makeImm(value);
-                    stats.scalar("pri.lazyCkptUpdates") += 1;
+                    ++stats.lazyCkptUpdates;
                 }
             }
         }
@@ -504,7 +535,7 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
             idealHook(dst.cls, preg, value);
             PRI_ASSERT(info.consumerRefs == 0,
                        "ideal payload rewrite left references");
-            stats.scalar("pri.idealPayloadRewrites") += 1;
+            ++stats.idealPayloadRewrites;
         }
         tryFree(dst.cls, preg);
     } else if (first_attempt) {
@@ -526,14 +557,14 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
         // transient and bounded by the commit width.
         const unsigned limit = cfg.numPhysRegs - cfg.vpReserve;
         if (!privileged && st.storageUsed >= limit) {
-            stats.scalar("vp.writebackStalls") += 1;
+            ++stats.vpWritebackStalls;
             return false;
         }
         if (st.storageUsed >= cfg.numPhysRegs)
-            stats.scalar("vp.emergencyClaims") += 1;
+            ++stats.vpEmergencyClaims;
         info.holdsStorage = true;
         st.storageUsed += 1;
-        stats.scalar("vp.storageClaims") += 1;
+        ++stats.vpStorageClaims;
     }
     return true;
 }
@@ -545,7 +576,7 @@ RenameUnit::commitDest(isa::RegClass cls, const MapEntry &prev,
     if (prev.imm) {
         // The previous mapping was an inlined value: no register to
         // free (it was freed when the value was inlined).
-        stats.scalar("rename.commitPrevWasImm") += 1;
+        ++stats.commitPrevWasImm;
         return;
     }
     auto &st = state(cls);
@@ -553,7 +584,7 @@ RenameUnit::commitDest(isa::RegClass cls, const MapEntry &prev,
     if (!st.freeList.isAllocated(prev.preg) || info.gen != prev_gen) {
         // Already freed early (and possibly reallocated): the
         // duplicate deallocation the paper's free list must ignore.
-        stats.scalar("rename.duplicateCommitFrees") += 1;
+        ++stats.duplicateCommitFrees;
         return;
     }
     info.pendingCommitFree = true;
@@ -572,7 +603,7 @@ RenameUnit::squashDest(isa::RegClass cls, isa::PhysRegId preg,
     auto &info = st.pregs[preg];
     if (!st.freeList.isAllocated(preg) || info.gen != gen) {
         // Freed early before the squash (narrow value inlined).
-        stats.scalar("rename.squashDuplicateFrees") += 1;
+        ++stats.squashDuplicateFrees;
         return;
     }
     PRI_ASSERT(info.mappedBy < 0,
@@ -608,10 +639,10 @@ RenameUnit::tryFree(isa::RegClass cls, isa::PhysRegId p)
     }
 
     if (info.pendingNarrowFree && !info.pendingCommitFree)
-        stats.scalar("pri.earlyFrees") += 1;
+        ++stats.priEarlyFrees;
     else if (er_eligible && !info.pendingCommitFree &&
              !info.pendingNarrowFree)
-        stats.scalar("er.earlyFrees") += 1;
+        ++stats.erEarlyFrees;
 
     doFree(cls, p, /*squashed=*/false);
 }
@@ -638,12 +669,10 @@ RenameUnit::doFree(isa::RegClass cls, isa::PhysRegId p,
         const double read_to_release =
             now >= live_end ? static_cast<double>(now - live_end)
                             : 0.0;
-        stats.average("lifetime.allocToWrite").sample(alloc_to_write);
-        stats.average("lifetime.writeToLastRead")
-            .sample(write_to_read);
-        stats.average("lifetime.lastReadToRelease")
-            .sample(read_to_release);
-        stats.average("lifetime.total").sample(
+        stats.lifeAllocToWrite.sample(alloc_to_write);
+        stats.lifeWriteToLastRead.sample(write_to_read);
+        stats.lifeLastReadToRelease.sample(read_to_release);
+        stats.lifeTotal.sample(
             alloc_to_write + write_to_read + read_to_release);
     }
 
@@ -658,7 +687,7 @@ RenameUnit::doFree(isa::RegClass cls, isa::PhysRegId p,
     }
     const bool freed = st.freeList.free(p);
     PRI_ASSERT(freed, "double free must be filtered before doFree");
-    stats.scalar("rename.frees") += 1;
+    ++stats.frees;
 }
 
 const MapEntry &

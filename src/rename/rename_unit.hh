@@ -129,6 +129,45 @@ using IdealInlineHook =
 /** Identifier for a branch checkpoint. */
 using CkptId = uint64_t;
 
+/**
+ * Rename-side counters interned against the StatGroup once at
+ * construction; the rename/writeback/free hot paths update them
+ * through cached references instead of string-keyed map lookups.
+ */
+struct RenameStats
+{
+    explicit RenameStats(StatGroup &sg);
+
+    StatScalar &cycles;
+    StatScalar &occupancyIntAccum;
+    StatScalar &occupancyFpAccum;
+    StatScalar &srcImmReads;
+    StatScalar &srcPregReads;
+    StatScalar &destAllocs;
+    StatScalar &checkpointsCreated;
+    StatScalar &checkpointsSquashed;
+    StatScalar &checkpointsRestored;
+    StatScalar &narrowResultsInt;
+    StatScalar &narrowResultsFp;
+    StatScalar &inlinedCurrentMap;
+    StatScalar &narrowButRemapped;
+    StatScalar &lazyCkptUpdates;
+    StatScalar &idealPayloadRewrites;
+    StatScalar &vpWritebackStalls;
+    StatScalar &vpEmergencyClaims;
+    StatScalar &vpStorageClaims;
+    StatScalar &commitPrevWasImm;
+    StatScalar &duplicateCommitFrees;
+    StatScalar &squashDuplicateFrees;
+    StatScalar &priEarlyFrees;
+    StatScalar &erEarlyFrees;
+    StatScalar &frees;
+    StatAverage &lifeAllocToWrite;
+    StatAverage &lifeWriteToLastRead;
+    StatAverage &lifeLastReadToRelease;
+    StatAverage &lifeTotal;
+};
+
 /** The rename/retire/commit-side register management engine. */
 class RenameUnit
 {
@@ -329,7 +368,7 @@ class RenameUnit
     bool erCkptHorizonClear(uint64_t watermark) const;
 
     RenameConfig cfg;
-    StatGroup &stats;
+    RenameStats stats;
     ClassState intState;
     ClassState fpState;
     std::map<CkptId, Checkpoint> ckpts;

@@ -86,7 +86,16 @@ main(int argc, char **argv)
     }
 
     p.checkInvariants = true;
-    const auto r = pri::sim::simulate(p);
+    // simulate() throws on bad parameters (e.g. an unknown
+    // benchmark name) so batch drivers can capture per-run errors;
+    // at the CLI the equivalent is a clean fatal.
+    const auto r = [&] {
+        try {
+            return pri::sim::simulate(p);
+        } catch (const std::exception &e) {
+            pri::fatal("{}", e.what());
+        }
+    }();
 
     std::printf("benchmark %s  width %u  scheme %s  pregs %u\n",
                 r.benchmark.c_str(), r.width, r.scheme.c_str(),

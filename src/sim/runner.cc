@@ -1,0 +1,101 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace pri::sim
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+SimulationRunner::SimulationRunner(unsigned jobs)
+    : nJobs(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+void
+SimulationRunner::forEach(size_t n,
+                          const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<size_t>(nJobs, n));
+    if (workers <= 1) {
+        // Exact serial semantics: no threads, no reordering.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                for (size_t i = next.fetch_add(1); i < n;
+                     i = next.fetch_add(1)) {
+                    fn(i);
+                }
+            } catch (...) {
+                // A worker that throws stops pulling work; the
+                // remaining indices drain through its siblings.
+                errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+std::vector<SimulationRunner::Outcome>
+SimulationRunner::runCaptured(const std::vector<RunParams> &batch) const
+{
+    std::vector<Outcome> out(batch.size());
+    forEach(batch.size(), [&](size_t i) {
+        try {
+            out[i].result = simulate(batch[i]);
+        } catch (const std::exception &e) {
+            out[i].error = e.what();
+        } catch (...) {
+            out[i].error = "unknown exception";
+        }
+    });
+    return out;
+}
+
+std::vector<RunResult>
+SimulationRunner::run(const std::vector<RunParams> &batch) const
+{
+    auto outcomes = runCaptured(batch);
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok()) {
+            fatal("simulation {} ({} / {} / width {}) failed: {}",
+                  i, batch[i].benchmark,
+                  schemeName(batch[i].scheme), batch[i].width,
+                  outcomes[i].error);
+        }
+        results.push_back(std::move(outcomes[i].result));
+    }
+    return results;
+}
+
+} // namespace pri::sim

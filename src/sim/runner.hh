@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SimulationRunner: a fixed-size thread pool that fans a batch of
+ * independent simulation requests out across worker threads.
+ *
+ * Every run is share-nothing — it owns its SyntheticProgram, its
+ * StatGroup, and its core — so the only coordination the pool needs
+ * is an atomic work-stealing index. Results are returned in
+ * submission order, which keeps every figure table byte-identical
+ * to serial execution; `jobs == 1` degenerates to a plain loop with
+ * no threads created, i.e. the exact old behavior.
+ */
+
+#ifndef PRI_SIM_RUNNER_HH
+#define PRI_SIM_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hh"
+
+namespace pri::sim
+{
+
+/**
+ * Worker count used when the caller does not specify one:
+ * std::thread::hardware_concurrency(), minimum 1.
+ */
+unsigned defaultJobs();
+
+/** Thread-pool executor for batches of independent simulations. */
+class SimulationRunner
+{
+  public:
+    /** @param jobs worker threads; 0 means defaultJobs(). */
+    explicit SimulationRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return nJobs; }
+
+    /** One run's outcome: a result, or the error that ended it. */
+    struct Outcome
+    {
+        RunResult result;
+        std::string error; ///< empty on success
+
+        bool ok() const { return error.empty(); }
+    };
+
+    /**
+     * Simulate every element of @p batch and return the results in
+     * submission order. A failed run (an exception escaping
+     * simulate()) is reported via fatal() after all workers have
+     * drained, so no thread is ever abandoned.
+     */
+    std::vector<RunResult> run(const std::vector<RunParams> &batch) const;
+
+    /**
+     * Like run(), but per-run exceptions are captured into the
+     * matching Outcome instead of terminating the program.
+     */
+    std::vector<Outcome>
+    runCaptured(const std::vector<RunParams> &batch) const;
+
+    /**
+     * Generic indexed parallel-for for harnesses whose sweep points
+     * are not expressible as RunParams (custom narrow widths,
+     * scheduler sizes, workload profiles, ...). Calls @p fn for
+     * every index in [0, n), distributing indices across the pool;
+     * @p fn must only touch index-owned state. Blocks until all
+     * indices are done; the first captured exception (if any) is
+     * rethrown afterwards.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn) const;
+
+  private:
+    unsigned nJobs;
+};
+
+} // namespace pri::sim
+
+#endif // PRI_SIM_RUNNER_HH

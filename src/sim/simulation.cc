@@ -97,7 +97,14 @@ simulate(const RunParams &params)
     r.width = params.width;
     r.cycles = cpu.cycles() - c0;
     r.insts = cpu.committedInsts() - i0;
-    r.ipc = cpu.ipc();
+    // IPC from the same measurement-window deltas as cycles/insts,
+    // so the three fields are always mutually consistent (a run
+    // whose window deltas were taken here must never mix in whole-
+    // run counts — speedups in Fig 10/12 divide these IPCs).
+    r.ipc = r.cycles == 0
+        ? 0.0
+        : static_cast<double>(r.insts) /
+            static_cast<double>(r.cycles);
     r.avgIntOccupancy = cpu.avgIntOccupancy();
     r.avgFpOccupancy = cpu.avgFpOccupancy();
 

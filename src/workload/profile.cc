@@ -1,6 +1,7 @@
 #include "profile.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -455,7 +456,10 @@ profileByName(const std::string &name)
         if (p.name == name)
             return p;
     }
-    fatal("unknown benchmark profile '{}'", name);
+    // Thrown (not fatal()) so a parallel sweep can capture one bad
+    // RunParams without killing the other runs in the batch.
+    throw std::invalid_argument("unknown benchmark profile '" +
+                                name + "'");
 }
 
 } // namespace pri::workload

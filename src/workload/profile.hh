@@ -139,7 +139,8 @@ const std::vector<BenchmarkProfile> &specFpProfiles();
 /** Both suites concatenated. */
 const std::vector<BenchmarkProfile> &allProfiles();
 
-/** Look up a profile by name; fatal() if unknown. */
+/** Look up a profile by name; throws std::invalid_argument if
+ *  unknown (catchable, so parallel sweeps can capture it). */
 const BenchmarkProfile &profileByName(const std::string &name);
 
 } // namespace pri::workload

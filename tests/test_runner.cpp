@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: results must be
+ * bit-identical to direct serial simulate() calls regardless of the
+ * worker count, in submission order, across repeated invocations;
+ * exceptions from workers must propagate or be captured per-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+
+namespace pri::sim
+{
+namespace
+{
+
+std::vector<RunParams>
+smallBatch()
+{
+    std::vector<RunParams> batch;
+    for (const char *bench : {"gzip", "equake"}) {
+        for (auto scheme :
+             {Scheme::Base, Scheme::PriRefcountCkptcount}) {
+            RunParams p;
+            p.benchmark = bench;
+            p.scheme = scheme;
+            p.warmupInsts = 2000;
+            p.measureInsts = 8000;
+            p.seed = 7;
+            batch.push_back(p);
+        }
+    }
+    return batch;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.width, b.width);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.avgIntOccupancy, b.avgIntOccupancy);
+    EXPECT_EQ(a.avgFpOccupancy, b.avgFpOccupancy);
+    EXPECT_EQ(a.lifeAllocToWrite, b.lifeAllocToWrite);
+    EXPECT_EQ(a.lifeWriteToLastRead, b.lifeWriteToLastRead);
+    EXPECT_EQ(a.lifeLastReadToRelease, b.lifeLastReadToRelease);
+    EXPECT_EQ(a.branchMispredictRate, b.branchMispredictRate);
+    EXPECT_EQ(a.dl1MissRate, b.dl1MissRate);
+    EXPECT_EQ(a.priEarlyFrees, b.priEarlyFrees);
+    EXPECT_EQ(a.erEarlyFrees, b.erEarlyFrees);
+    EXPECT_EQ(a.inlinedFrac, b.inlinedFrac);
+    EXPECT_EQ(a.report, b.report);
+}
+
+TEST(SimulationRunner, DefaultJobsIsAtLeastOne)
+{
+    EXPECT_GE(defaultJobs(), 1u);
+    EXPECT_GE(SimulationRunner().jobs(), 1u);
+    EXPECT_EQ(SimulationRunner(3).jobs(), 3u);
+}
+
+/** Same RunParams: direct simulate(), jobs=1, and jobs=8 must all
+ *  produce bit-identical results, twice in a row. */
+TEST(SimulationRunner, DeterministicAcrossWorkerCounts)
+{
+    const auto batch = smallBatch();
+
+    std::vector<RunResult> reference;
+    for (const auto &p : batch)
+        reference.push_back(simulate(p));
+
+    for (int repeat = 0; repeat < 2; ++repeat) {
+        const auto serial = SimulationRunner(1).run(batch);
+        const auto parallel = SimulationRunner(8).run(batch);
+        ASSERT_EQ(serial.size(), batch.size());
+        ASSERT_EQ(parallel.size(), batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            expectIdentical(serial[i], reference[i]);
+            expectIdentical(parallel[i], reference[i]);
+        }
+    }
+}
+
+/** Results come back in submission order, not completion order. */
+TEST(SimulationRunner, ResultsInSubmissionOrder)
+{
+    auto batch = smallBatch();
+    const auto results = SimulationRunner(4).run(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(results[i].benchmark, batch[i].benchmark);
+        EXPECT_EQ(results[i].scheme,
+                  schemeName(batch[i].scheme));
+    }
+}
+
+TEST(SimulationRunner, ForEachCoversAllIndicesOnce)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        std::vector<int> hits(100, 0);
+        SimulationRunner(jobs).forEach(
+            hits.size(), [&](size_t i) { ++hits[i]; });
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(SimulationRunner, ForEachPropagatesExceptions)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        EXPECT_THROW(
+            SimulationRunner(jobs).forEach(8,
+                                           [&](size_t i) {
+                                               if (i == 5)
+                                                   throw std::
+                                                       runtime_error(
+                                                           "boom");
+                                           }),
+            std::runtime_error);
+    }
+}
+
+TEST(SimulationRunner, RunCapturedReportsPerRunErrors)
+{
+    auto batch = smallBatch();
+    batch[1].benchmark = "no-such-benchmark";
+
+    const auto outcomes = SimulationRunner(4).runCaptured(batch);
+    ASSERT_EQ(outcomes.size(), batch.size());
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_FALSE(outcomes[1].ok());
+    EXPECT_FALSE(outcomes[1].error.empty());
+    EXPECT_TRUE(outcomes[2].ok());
+    EXPECT_TRUE(outcomes[3].ok());
+
+    // Successful runs are unaffected by the failing sibling.
+    expectIdentical(outcomes[0].result, simulate(batch[0]));
+}
+
+} // namespace
+} // namespace pri::sim

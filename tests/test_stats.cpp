@@ -110,5 +110,45 @@ TEST(StatGroup, SameNameReturnsSameStat)
     EXPECT_DOUBLE_EQ(g.scalarValue("n"), 2.0);
 }
 
+TEST(StatGroup, InternedHandleUpdatesVisibleByName)
+{
+    StatGroup g;
+    StatScalar &h = g.registerScalar("core.counter");
+    h += 3;
+    ++h;
+    EXPECT_DOUBLE_EQ(g.scalarValue("core.counter"), 4.0);
+
+    StatAverage &a = g.registerAverage("core.avg");
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(g.average("core.avg").mean(), 3.0);
+}
+
+TEST(StatGroup, InternedHandleStableAcrossLaterRegistrations)
+{
+    // The handles are held for the lifetime of a core; later
+    // registrations must not invalidate them.
+    StatGroup g;
+    StatScalar &first = g.registerScalar("a.first");
+    for (char c = 'b'; c <= 'z'; ++c)
+        g.registerScalar(std::string(1, c) + ".filler");
+    first += 5;
+    EXPECT_DOUBLE_EQ(g.scalarValue("a.first"), 5.0);
+}
+
+TEST(StatGroupDeathTest, DuplicateScalarRegistrationPanics)
+{
+    StatGroup g;
+    g.registerScalar("dup.scalar");
+    EXPECT_DEATH(g.registerScalar("dup.scalar"), "duplicate");
+}
+
+TEST(StatGroupDeathTest, DuplicateAverageRegistrationPanics)
+{
+    StatGroup g;
+    g.registerAverage("dup.avg");
+    EXPECT_DEATH(g.registerAverage("dup.avg"), "duplicate");
+}
+
 } // namespace
 } // namespace pri
