@@ -15,12 +15,21 @@
  *     the legacy allocate-per-cycle path (hoistScratch=false)
  *     versus the hoisted member buffers (hoistScratch=true). The
  *     hoisted path must report zero steady-state regrowths.
+ *  4. Front-end checkpointing: a branch-heavy (gcc) run with pooled
+ *     checkpoints versus the legacy copy-everywhere path — KIPS,
+ *     checkpoints taken/restored/pool-stalled, steady-state heap
+ *     allocations (must be zero pooled), and the per-branch snapshot
+ *     bytes the pool removes. Written to BENCH_frontend.json.
+ *
+ * Also prints a one-line comparison of the serial KIPS against the
+ * committed BENCH_runner.json baseline when that file is present.
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
 #include <vector>
@@ -151,6 +160,89 @@ probeCycleLoop(bool hoist, const bench::Budget &budget)
     return probe;
 }
 
+struct FrontEndProbe
+{
+    double kips = 0.0;
+    double allocsPerCycle = 0.0;
+    uint64_t allocs = 0;
+    uint64_t cycles = 0;
+    uint64_t ckptsTaken = 0;
+    uint64_t ckptsRestored = 0;
+    uint64_t poolStalls = 0;
+};
+
+/** Branch-heavy core run, pooled vs legacy checkpointing. */
+FrontEndProbe
+probeFrontEnd(bool pooled, const bench::Budget &budget)
+{
+    const auto &profile = workload::profileByName("gcc");
+    workload::SyntheticProgram program(profile, 11);
+
+    const unsigned narrow = core::CoreConfig::narrowBitsForWidth(4);
+    auto cfg = core::CoreConfig::fourWide(
+        rename::RenameConfig::base(64, narrow));
+    cfg.pooledCheckpoints = pooled;
+
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, program, stats);
+
+    // Warm up past all one-time buffer growth (fetch ring, pool
+    // slots, journals, wheel).
+    cpu.run(budget.warmup);
+    cpu.beginMeasurement();
+
+    const uint64_t c0 = cpu.cycles();
+    const uint64_t i0 = cpu.committedInsts();
+    const double k0 = stats.scalarValue("core.ckptsTaken");
+    const double r0 = stats.scalarValue("core.ckptsRestored");
+    const double s0 = stats.scalarValue("core.ckptPoolStalls");
+    const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+
+    const auto t0 = Clock::now();
+    cpu.run(budget.measure);
+    const double secs = secondsSince(t0);
+
+    FrontEndProbe probe;
+    probe.cycles = cpu.cycles() - c0;
+    probe.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.allocsPerCycle = probe.cycles > 0
+        ? static_cast<double>(probe.allocs) /
+            static_cast<double>(probe.cycles)
+        : 0.0;
+    probe.kips = secs > 0
+        ? static_cast<double>(cpu.committedInsts() - i0) / secs /
+            1000.0
+        : 0.0;
+    probe.ckptsTaken = static_cast<uint64_t>(
+        stats.scalarValue("core.ckptsTaken") - k0);
+    probe.ckptsRestored = static_cast<uint64_t>(
+        stats.scalarValue("core.ckptsRestored") - r0);
+    probe.poolStalls = static_cast<uint64_t>(
+        stats.scalarValue("core.ckptPoolStalls") - s0);
+    return probe;
+}
+
+/** serialKips from the committed BENCH_runner.json, or 0. */
+double
+baselineSerialKips()
+{
+    // Prefer the repo copy: when run from the build tree, the CWD
+    // file is a leftover of a previous run, not the baseline.
+    for (const char *path :
+         {"../BENCH_runner.json", "BENCH_runner.json"}) {
+        std::FILE *f = std::fopen(path, "r");
+        if (!f)
+            continue;
+        char buf[4096];
+        const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+        std::fclose(f);
+        buf[n] = '\0';
+        if (const char *p = std::strstr(buf, "\"serialKips\":"))
+            return std::atof(p + std::strlen("\"serialKips\":"));
+    }
+    return 0.0;
+}
+
 } // namespace
 
 int
@@ -165,6 +257,9 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(opts.budget.warmup),
                 static_cast<unsigned long long>(
                     opts.budget.measure));
+
+    // Read before this run rewrites BENCH_runner.json in-place.
+    const double base_kips = baselineSerialKips();
 
     const auto batch = makeBatch(opts.budget);
 
@@ -187,8 +282,15 @@ main(int argc, char **argv)
     std::snprintf(label, sizeof(label), "parallel (--jobs %u)",
                   jobs);
     std::printf("%-28s %10.1f %10.2f\n", label, par_kips, par_s);
-    std::printf("speedup: %.2fx over %zu runs\n\n",
+    std::printf("speedup: %.2fx over %zu runs\n",
                 par_kips / serial_kips, batch.size());
+    if (base_kips > 0.0) {
+        std::printf("baseline BENCH_runner.json serialKips %.1f -> "
+                    "%.1f (%.2fx)\n",
+                    base_kips, serial_kips,
+                    serial_kips / base_kips);
+    }
+    std::printf("\n");
 
     const auto legacy = probeCycleLoop(false, opts.budget);
     const auto hoisted = probeCycleLoop(true, opts.budget);
@@ -209,8 +311,94 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("hoisted path: zero steady-state scratch "
-                "allocations over %llu cycles\n",
+                "allocations over %llu cycles\n\n",
                 static_cast<unsigned long long>(hoisted.cycles));
+
+    // Front-end checkpointing: branch-heavy workload, pooled vs
+    // legacy copy path.
+    const auto fe_legacy = probeFrontEnd(false, opts.budget);
+    const auto fe_pooled = probeFrontEnd(true, opts.budget);
+
+    // Per-branch snapshot payload the rename stage copies into the
+    // ROB entry: full RAS image + spec-arch array + walker
+    // checkpoint header (its call stack adds a heap copy on top).
+    const size_t legacy_bytes = sizeof(branch::PredictorSnapshotFull)
+        + sizeof(std::array<uint64_t, 2 * isa::kNumLogicalRegs>)
+        + sizeof(workload::WalkerCkpt);
+    const size_t pooled_bytes = sizeof(core::CkptRef);
+
+    std::printf("%-28s %10s %12s %10s %8s %8s\n",
+                "front-end (gcc)", "KIPS", "allocs/cyc", "ckpts",
+                "restored", "stalls");
+    std::printf("%-28s %10.1f %12.4f %10llu %8llu %8llu\n",
+                "legacy (copy per branch)", fe_legacy.kips,
+                fe_legacy.allocsPerCycle,
+                static_cast<unsigned long long>(
+                    fe_legacy.ckptsTaken),
+                static_cast<unsigned long long>(
+                    fe_legacy.ckptsRestored),
+                static_cast<unsigned long long>(
+                    fe_legacy.poolStalls));
+    std::printf("%-28s %10.1f %12.4f %10llu %8llu %8llu\n",
+                "pooled (CkptRef per branch)", fe_pooled.kips,
+                fe_pooled.allocsPerCycle,
+                static_cast<unsigned long long>(
+                    fe_pooled.ckptsTaken),
+                static_cast<unsigned long long>(
+                    fe_pooled.ckptsRestored),
+                static_cast<unsigned long long>(
+                    fe_pooled.poolStalls));
+    std::printf("per-branch ROB snapshot: %zu B -> %zu B\n",
+                legacy_bytes, pooled_bytes);
+    if (fe_pooled.allocs != 0) {
+        std::printf("FAIL: pooled front-end allocated %llu times in "
+                    "the measurement window\n",
+                    static_cast<unsigned long long>(
+                        fe_pooled.allocs));
+        return 1;
+    }
+    if (fe_pooled.poolStalls != 0) {
+        std::printf("FAIL: auto-sized checkpoint pool stalled "
+                    "fetch\n");
+        return 1;
+    }
+    std::printf("pooled path: zero steady-state allocations over "
+                "%llu branch-heavy cycles\n",
+                static_cast<unsigned long long>(fe_pooled.cycles));
+
+    if (std::FILE *f = std::fopen("BENCH_frontend.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"benchmark\": \"gcc\",\n"
+            "  \"serialKips\": %.1f,\n"
+            "  \"baselineSerialKips\": %.1f,\n"
+            "  \"legacyKips\": %.1f,\n"
+            "  \"pooledKips\": %.1f,\n"
+            "  \"pooledSpeedup\": %.3f,\n"
+            "  \"legacyAllocsPerCycle\": %.4f,\n"
+            "  \"pooledAllocsPerCycle\": %.4f,\n"
+            "  \"pooledAllocs\": %llu,\n"
+            "  \"ckptsTaken\": %llu,\n"
+            "  \"ckptsRestored\": %llu,\n"
+            "  \"ckptPoolStalls\": %llu,\n"
+            "  \"legacyBytesPerBranch\": %zu,\n"
+            "  \"pooledBytesPerBranch\": %zu,\n"
+            "  \"measuredCycles\": %llu\n"
+            "}\n",
+            serial_kips, base_kips, fe_legacy.kips, fe_pooled.kips,
+            fe_legacy.kips > 0 ? fe_pooled.kips / fe_legacy.kips
+                               : 0.0,
+            fe_legacy.allocsPerCycle, fe_pooled.allocsPerCycle,
+            static_cast<unsigned long long>(fe_pooled.allocs),
+            static_cast<unsigned long long>(fe_pooled.ckptsTaken),
+            static_cast<unsigned long long>(fe_pooled.ckptsRestored),
+            static_cast<unsigned long long>(fe_pooled.poolStalls),
+            legacy_bytes, pooled_bytes,
+            static_cast<unsigned long long>(fe_pooled.cycles));
+        std::fclose(f);
+        std::printf("wrote BENCH_frontend.json\n");
+    }
 
     const std::string json_path =
         opts.jsonPath.empty() ? "BENCH_runner.json" : opts.jsonPath;

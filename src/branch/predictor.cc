@@ -110,6 +110,8 @@ void
 Ras::push(uint64_t return_pc)
 {
     topIdx = (topIdx + 1) % kDepth;
+    if (journaling)
+        journal.push(Undo{stack[topIdx], topIdx});
     stack[topIdx] = return_pc;
     if (count < kDepth)
         ++count;
@@ -135,7 +137,9 @@ Ras::top() const
 void
 Ras::snapshot(PredictorSnapshot &snap) const
 {
-    snap.ras = stack;
+    PRI_ASSERT(journaling,
+               "journal-based RAS snapshot with journaling off");
+    snap.rasSeq = journal.seq();
     snap.rasTop = topIdx;
     snap.rasCount = count;
 }
@@ -143,9 +147,39 @@ Ras::snapshot(PredictorSnapshot &snap) const
 void
 Ras::restore(const PredictorSnapshot &snap)
 {
+    PRI_ASSERT(journaling,
+               "journal-based RAS restore with journaling off");
+    // Re-apply overwritten values newest-first; the oldest record
+    // per slot (the snapshot-time value) lands last.
+    journal.unwindTo(snap.rasSeq, [this](const Undo &u) {
+        stack[u.slot] = u.value;
+    });
+    topIdx = snap.rasTop;
+    count = snap.rasCount;
+}
+
+void
+Ras::snapshot(PredictorSnapshotFull &snap) const
+{
+    snap.ras = stack;
+    snap.rasTop = topIdx;
+    snap.rasCount = count;
+}
+
+void
+Ras::restore(const PredictorSnapshotFull &snap)
+{
     stack = snap.ras;
     topIdx = snap.rasTop;
     count = snap.rasCount;
+}
+
+void
+Ras::setJournaling(bool on)
+{
+    journaling = on;
+    if (!on)
+        journal.trimTo(journal.seq());
 }
 
 } // namespace pri::branch

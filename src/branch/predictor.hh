@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/undo_journal.hh"
 
 namespace pri::branch
 {
@@ -42,11 +43,35 @@ struct PredictToken
     uint64_t histAtPredict = 0; ///< history used for gshare index
 };
 
-/** Restorable front-end prediction state, snapshotted per branch. */
+/** Return-address-stack depth (paper Table 1). */
+constexpr unsigned kRasDepth = 16;
+
+/**
+ * Restorable front-end prediction state, recorded per branch.
+ *
+ * This is the pooled (journal-based) form: instead of copying the
+ * whole RAS array, it records only the stack geometry and the RAS
+ * undo-journal position; Ras::restore() repairs the entries that
+ * were overwritten since from the journal. 24 bytes per branch
+ * instead of 144.
+ */
 struct PredictorSnapshot
 {
     uint64_t history = 0;
-    std::array<uint64_t, 16> ras{};
+    uint64_t rasSeq = 0; ///< RAS undo-journal position
+    uint8_t rasTop = 0;
+    uint8_t rasCount = 0;
+};
+
+/**
+ * Legacy full-copy form: the entire RAS array travels with every
+ * fetched branch. Kept behind CoreConfig::pooledCheckpoints=false
+ * so the perf harness can measure what the journal removes.
+ */
+struct PredictorSnapshotFull
+{
+    uint64_t history = 0;
+    std::array<uint64_t, kRasDepth> ras{};
     uint8_t rasTop = 0;
     uint8_t rasCount = 0;
 };
@@ -116,11 +141,20 @@ class Btb
     uint64_t stamp = 0;
 };
 
-/** 16-entry circular return address stack. */
+/**
+ * 16-entry circular return address stack.
+ *
+ * Every push overwrites one slot; with journaling enabled (the
+ * default) the pre-push value is appended to an undo journal so a
+ * snapshot needs to record only {topIdx, count, journal position}.
+ * Pops destroy nothing (the slot value survives), so they need no
+ * journal record. The journal is bounded: the checkpoint owner trims
+ * it to the oldest live snapshot via trimJournal().
+ */
 class Ras
 {
   public:
-    static constexpr unsigned kDepth = 16;
+    static constexpr unsigned kDepth = kRasDepth;
 
     void push(uint64_t return_pc);
     /** Pop the predicted return target (0 when empty). */
@@ -128,14 +162,46 @@ class Ras
     uint64_t top() const;
     bool empty() const { return count == 0; }
 
-    /** Snapshot / restore for misprediction recovery. */
+    /** Journal-based snapshot / restore (pooled checkpoints). */
     void snapshot(PredictorSnapshot &snap) const;
     void restore(const PredictorSnapshot &snap);
 
+    /** Legacy full-copy snapshot / restore. */
+    void snapshot(PredictorSnapshotFull &snap) const;
+    void restore(const PredictorSnapshotFull &snap);
+
+    /**
+     * Disable the undo journal when only full-copy restore will be
+     * used (legacy checkpointing); journal-based restore is then
+     * illegal.
+     */
+    void setJournaling(bool on);
+
+    /** Current journal position (see UndoJournal::seq). */
+    uint64_t journalSeq() const { return journal.seq(); }
+
+    /** Pre-size the journal for @p live_span in-flight records. */
+    void
+    reserveJournal(size_t live_span)
+    {
+        journal.reserveForLiveSpan(live_span);
+    }
+
+    /** Drop journal records no live snapshot can unwind to. */
+    void trimJournal(uint64_t min_seq) { journal.trimTo(min_seq); }
+
   private:
+    struct Undo
+    {
+        uint64_t value;
+        uint8_t slot;
+    };
+
     std::array<uint64_t, kDepth> stack{};
+    UndoJournal<Undo> journal;
     uint8_t topIdx = 0;
     uint8_t count = 0;
+    bool journaling = true;
 };
 
 } // namespace pri::branch

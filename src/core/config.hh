@@ -56,6 +56,35 @@ struct CoreConfig
      */
     bool hoistScratch = true;
 
+    /**
+     * Recover branch state through the fixed-capacity checkpoint
+     * pool (index+generation references, RAS/arch undo journals)
+     * instead of embedding full snapshot copies in every fetched
+     * branch. Timing-identical to the legacy copy path as long as
+     * the pool never fills (guaranteed at the default auto size);
+     * only simulator speed and allocation behaviour change. The
+     * legacy path is kept so bench/perf_smoke can measure the
+     * copy/allocation churn the pool removes.
+     */
+    bool pooledCheckpoints = true;
+
+    /**
+     * Checkpoint-pool slots; 0 = auto (robSize + fetchQueueSize,
+     * one slot per branch that can possibly be in flight, so fetch
+     * never stalls on the pool). Smaller values model a finite
+     * hardware checkpoint file: exhaustion stalls fetch and is
+     * counted in core.ckptPoolStalls.
+     */
+    unsigned ckptPoolSlots = 0;
+
+    /** Effective checkpoint-pool capacity. */
+    unsigned
+    ckptPoolSize() const
+    {
+        return ckptPoolSlots ? ckptPoolSlots
+                             : robSize + fetchQueueSize();
+    }
+
     /** Fetch-buffer capacity between fetch and rename. */
     unsigned fetchQueueSize() const { return 3 * width; }
 

@@ -28,7 +28,10 @@ CoreStats::CoreStats(StatGroup &sg)
       icacheMissStalls(sg.scalar("core.icacheMissStalls")),
       btbMisses(sg.scalar("core.btbMisses")),
       fetchedInsts(sg.scalar("core.fetchedInsts")),
-      scratchGrowths(sg.scalar("core.scratchGrowths"))
+      scratchGrowths(sg.scalar("core.scratchGrowths")),
+      ckptsTaken(sg.scalar("core.ckptsTaken")),
+      ckptsRestored(sg.scalar("core.ckptsRestored")),
+      ckptPoolStalls(sg.scalar("core.ckptPoolStalls"))
 {
 }
 
@@ -37,12 +40,15 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
                                StatGroup &stats)
     : cfg(config), sg(stats), st(stats), prog(program),
       walker(program), rn(config.rename, stats), mem(config.mem),
-      lsq(config.lsqSize), rob(config.robSize)
+      lsq(config.lsqSize), robHot(config.robSize),
+      robCold(config.robSize), fetchBuf(config.fetchQueueSize()),
+      ckptPool(config.ckptPoolSize())
 {
     for (auto cls : {0, 1}) {
         specAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
         actualAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
     }
+    unretiredBits.assign((cfg.robSize + 63) / 64, 0);
     schedQueue.reserve(cfg.schedSize);
 
     // Pre-size the cycle-loop buffers so the steady state never
@@ -54,7 +60,21 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
         for (auto &slot : wheel)
             slot.reserve(cfg.robSize);
         eventScratch.reserve(cfg.robSize);
+        eventScratch2.reserve(cfg.robSize);
         freedScratch.reserve(cfg.robSize);
+    }
+
+    if (cfg.pooledCheckpoints) {
+        // One arch-undo record per in-flight dest-writer bounds the
+        // journals' live spans; size for that plus the dead prefix
+        // the trim policy tolerates, so steady state never grows.
+        archJournal.reserveForLiveSpan(cfg.robSize +
+                                       cfg.fetchQueueSize());
+        ras.reserveJournal(cfg.robSize + cfg.fetchQueueSize());
+    } else {
+        // Only full-copy RAS restore will be used; don't pay for
+        // journal appends on every push.
+        ras.setJournaling(false);
     }
 
     // Ideal-PRI payload rewrite: convert every in-flight consumer of
@@ -65,7 +85,7 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
                                  uint64_t value) {
         for (uint32_t i = 0, idx = robHead; i < robCount;
              ++i, idx = (idx + 1) % cfg.robSize) {
-            RobEntry &e = rob[idx];
+            RobHot &e = robHot[idx];
             if (!e.valid)
                 continue;
             for (auto &s : e.src) {
@@ -136,7 +156,7 @@ OutOfOrderCore::scheduleEvent(uint64_t when, EventType type,
     auto &slot = wheel[when % kWheelSize];
     if (slot.size() == slot.capacity())
         ++st.scratchGrowths;
-    slot.push_back(Event{type, idx, rob[idx].slotGen});
+    slot.push_back(Event{type, idx, robHot[idx].slotGen});
 }
 
 void
@@ -158,7 +178,7 @@ OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
             panic("no commit in 500k cycles at cycle {} "
                   "(rob {}, sched {}+{}, fetchq {})",
                   cycle, robCount, schedQueue.size(), schedHeld,
-                  fetchQueue.size());
+                  fetchCount);
         }
         ++cycle;
     }
@@ -218,43 +238,49 @@ OutOfOrderCore::processEvents()
     // slot; the slotGen check filters them. Draining by copy + clear
     // (rather than a capacity-stealing swap) lets every wheel slot
     // keep the capacity it has grown, so once warmed up neither the
-    // slots nor the scratch buffer ever reallocate.
-    std::vector<Event> local;
-    std::vector<Event> &events =
-        cfg.hoistScratch ? eventScratch : local;
-    events.clear();
-    if (cfg.hoistScratch) {
-        if (slot.size() > events.capacity())
-            ++st.scratchGrowths;
-        events.insert(events.end(), slot.begin(), slot.end());
-        slot.clear();
-    } else {
-        events.swap(slot);
-    }
+    // slots nor the scratch buffers ever reallocate.
+    //
     // Completions must be visible before same-cycle execution
     // starts: a dependent beginning execution this cycle picks its
     // operand off the bypass network from a producer completing this
     // cycle. Processing ExeStart first would mis-detect a latency
     // misprediction and replay every back-to-back dependent pair.
-    for (int pass = 0; pass < 2; ++pass) {
-        for (const Event &ev : events) {
-            RobEntry &e = rob[ev.robIdx];
+    // The drain partitions events by pass so each runs as one tight
+    // loop.
+    std::vector<Event> local_first, local_second;
+    std::vector<Event> &first =
+        cfg.hoistScratch ? eventScratch : local_first;
+    std::vector<Event> &second =
+        cfg.hoistScratch ? eventScratch2 : local_second;
+    first.clear();
+    second.clear();
+    const size_t cap1 = first.capacity();
+    const size_t cap2 = second.capacity();
+    for (const Event &ev : slot) {
+        const bool first_pass =
+            ev.type == EventType::ExeComplete ||
+            ev.type == EventType::Retire;
+        (first_pass ? first : second).push_back(ev);
+    }
+    slot.clear();
+    if (cfg.hoistScratch &&
+        (first.capacity() != cap1 || second.capacity() != cap2)) {
+        ++st.scratchGrowths;
+    }
+    for (const std::vector<Event> *events : {&first, &second}) {
+        for (const Event &ev : *events) {
+            const RobHot &e = robHot[ev.robIdx];
             if (!e.valid || e.slotGen != ev.slotGen)
                 continue; // squashed
-            const bool first_pass =
-                ev.type == EventType::ExeComplete ||
-                ev.type == EventType::Retire;
-            if (first_pass != (pass == 0))
-                continue;
             switch (ev.type) {
               case EventType::ExeStart:
-                onExeStart(e, ev.robIdx);
+                onExeStart(ev.robIdx);
                 break;
               case EventType::ExeComplete:
-                onExeComplete(e, ev.robIdx);
+                onExeComplete(ev.robIdx);
                 break;
               case EventType::Retire:
-                onRetire(e);
+                onRetire(ev.robIdx);
                 break;
             }
         }
@@ -262,30 +288,40 @@ OutOfOrderCore::processEvents()
 }
 
 void
-OutOfOrderCore::replayInst(RobEntry &e, uint32_t idx)
+OutOfOrderCore::replayInst(uint32_t idx)
 {
+    RobHot &e = robHot[idx];
     ++st.replays;
-    e.replays += 1;
+    robCold[idx].replays += 1;
     if (e.hasDst) {
-        specAvail(e.dst.cls, e.dstPreg) = kNever;
-        actualAvail(e.dst.cls, e.dstPreg) = kNever;
+        specAvail(e.dstCls, e.dstPreg) = kNever;
+        actualAvail(e.dstCls, e.dstPreg) = kNever;
     }
     PRI_ASSERT(e.heldSlot);
     e.heldSlot = false;
     --schedHeld;
     e.inScheduler = true;
     e.readyForSelect = cycle + 1;
-    schedQueue.push_back(idx);
+    // Sorted re-insert: the scheduler queue is kept in seq order at
+    // all times (rename appends monotonically, erases preserve
+    // order), so selectStage never has to sort.
+    const auto pos = std::upper_bound(
+        schedQueue.begin(), schedQueue.end(), idx,
+        [this](uint32_t a, uint32_t b) {
+            return robHot[a].seq < robHot[b].seq;
+        });
+    schedQueue.insert(pos, idx);
 }
 
 void
-OutOfOrderCore::onExeStart(RobEntry &e, uint32_t idx)
+OutOfOrderCore::onExeStart(uint32_t idx)
 {
+    RobHot &e = robHot[idx];
     // Speculative scheduling validation: all operands must actually
     // be available now, else selective replay.
     for (const auto &s : e.src) {
         if (!srcActualReady(s)) {
-            replayInst(e, idx);
+            replayInst(idx);
             return;
         }
     }
@@ -296,37 +332,39 @@ OutOfOrderCore::onExeStart(RobEntry &e, uint32_t idx)
     --schedHeld;
 
     unsigned lat;
-    if (e.wi.isLoad()) {
-        const bool fwd = lsq.forwardHit(e.wi.seq, e.wi.memAddr);
+    if (isa::isLoad(e.cls)) {
+        const workload::WInst &wi = robCold[idx].wi;
+        const bool fwd = lsq.forwardHit(wi.seq, wi.memAddr);
         unsigned mem_lat;
         if (fwd) {
             mem_lat = cfg.mem.dl1.latency;
             ++st.loadForwards;
         } else {
-            mem_lat = mem.dataAccess(e.wi.memAddr, false);
+            mem_lat = mem.dataAccess(wi.memAddr, false);
         }
         if (mem_lat > cfg.mem.dl1.latency)
             ++st.loadMisses;
         lat = 1 + mem_lat;
     } else {
-        lat = isa::execLatency(e.wi.cls);
+        lat = isa::execLatency(e.cls);
     }
 
     if (e.hasDst) {
         // The true completion time is now known.
-        specAvail(e.dst.cls, e.dstPreg) = cycle + lat;
+        specAvail(e.dstCls, e.dstPreg) = cycle + lat;
     }
     scheduleEvent(cycle + lat, EventType::ExeComplete, idx);
 }
 
 void
-OutOfOrderCore::onExeComplete(RobEntry &e, uint32_t idx)
+OutOfOrderCore::onExeComplete(uint32_t idx)
 {
-    e.executed = true;
+    RobHot &e = robHot[idx];
+    robCold[idx].executed = true;
 
     if (e.hasDst) {
-        specAvail(e.dst.cls, e.dstPreg) = cycle;
-        actualAvail(e.dst.cls, e.dstPreg) = cycle;
+        specAvail(e.dstCls, e.dstPreg) = cycle;
+        actualAvail(e.dstCls, e.dstPreg) = cycle;
     }
     // Consumers are done with their operands (reads happened in the
     // RF stages / bypass on the way here).
@@ -334,14 +372,36 @@ OutOfOrderCore::onExeComplete(RobEntry &e, uint32_t idx)
         rn.consumerDone(s);
 
     if (e.isBranch)
-        resolveBranch(e, idx);
+        resolveBranch(idx);
 
     scheduleEvent(cycle + cfg.exeToRetire, EventType::Retire, idx);
 }
 
-void
-OutOfOrderCore::onRetire(RobEntry &e)
+bool
+OutOfOrderCore::anyUnretiredInRange(uint32_t lo, uint32_t hi) const
 {
+    if (lo >= hi)
+        return false;
+    const uint32_t wlo = lo / 64;
+    const uint32_t whi = (hi - 1) / 64;
+    const uint64_t lo_mask = ~uint64_t{0} << (lo % 64);
+    const uint64_t hi_mask = ~uint64_t{0} >> (63 - (hi - 1) % 64);
+    if (wlo == whi)
+        return (unretiredBits[wlo] & lo_mask & hi_mask) != 0;
+    if ((unretiredBits[wlo] & lo_mask) != 0)
+        return true;
+    for (uint32_t w = wlo + 1; w < whi; ++w) {
+        if (unretiredBits[w] != 0)
+            return true;
+    }
+    return (unretiredBits[whi] & hi_mask) != 0;
+}
+
+void
+OutOfOrderCore::onRetire(uint32_t idx)
+{
+    RobHot &e = robHot[idx];
+    RobCold &c = robCold[idx];
     if (e.hasDst) {
         // Under virtual-physical renaming the writeback claims
         // storage and can stall. Only the *oldest unretired*
@@ -351,22 +411,18 @@ OutOfOrderCore::onRetire(RobEntry &e)
         // looser rule (anything near the head) lets younger
         // writebacks exhaust the file while the head still waits —
         // the classic virtual-physical deadlock.
-        const uint32_t idx = static_cast<uint32_t>(&e - rob.data());
-        bool privileged = true;
-        for (uint32_t i = robHead; i != idx;
-             i = (i + 1) % cfg.robSize) {
-            if (rob[i].valid && !rob[i].retired) {
-                privileged = false;
-                break;
-            }
-        }
-        if (!rn.writeback(e.dst, e.dstPreg, e.dstGen,
-                          e.wi.resultValue, privileged)) {
+        const bool privileged = robHead <= idx
+            ? !anyUnretiredInRange(robHead, idx)
+            : !anyUnretiredInRange(robHead, cfg.robSize) &&
+                !anyUnretiredInRange(0, idx);
+        if (!rn.writeback(c.dst, e.dstPreg, c.dstGen,
+                          c.wi.resultValue, privileged)) {
             scheduleEvent(cycle + 2, EventType::Retire, idx);
             return;
         }
     }
-    e.retired = true;
+    c.retired = true;
+    unretiredBits[idx / 64] &= ~(uint64_t{1} << (idx % 64));
 }
 
 // ---------------------------------------------------------------
@@ -374,8 +430,47 @@ OutOfOrderCore::onRetire(RobEntry &e)
 // ---------------------------------------------------------------
 
 void
-OutOfOrderCore::resolveBranch(RobEntry &e, uint32_t idx)
+OutOfOrderCore::releaseCkptRef(CkptRef &ref)
 {
+    PRI_ASSERT(ref.valid());
+    ckptPool.release(ref);
+    ref = CkptRef{};
+    // Trim the undo journals to the oldest checkpoint still live:
+    // nothing can ever unwind below it again. When the oldest branch
+    // has not renamed yet its archSeq is unassigned — but then (by
+    // in-order rename) *no* live checkpoint has one, so the whole
+    // arch journal is dead and can be trimmed to the present.
+    if (ckptPool.empty()) {
+        ras.trimJournal(ras.journalSeq());
+        archJournal.trimTo(archJournal.seq());
+    } else {
+        const CheckpointSlot &o = ckptPool.oldest();
+        ras.trimJournal(o.bp.rasSeq);
+        archJournal.trimTo(o.archSeq == CheckpointSlot::kUnrenamed
+                               ? archJournal.seq()
+                               : o.archSeq);
+    }
+}
+
+void
+OutOfOrderCore::flushFetchBuffer()
+{
+    if (cfg.pooledCheckpoints) {
+        const uint32_t cap = static_cast<uint32_t>(fetchBuf.size());
+        for (uint32_t i = 0; i < fetchCount; ++i) {
+            FetchedInst &f = fetchBuf[(fetchHead + i) % cap];
+            if (f.ckptRef.valid())
+                releaseCkptRef(f.ckptRef);
+        }
+    }
+    fetchHead = 0;
+    fetchCount = 0;
+}
+
+void
+OutOfOrderCore::resolveBranch(uint32_t idx)
+{
+    RobCold &e = robCold[idx];
     const auto &wi = e.wi;
     const bool dir_wrong = e.predTaken != wi.taken;
     const bool target_wrong = !dir_wrong && wi.taken &&
@@ -385,6 +480,8 @@ OutOfOrderCore::resolveBranch(RobEntry &e, uint32_t idx)
         // again, so PRI's checkpoint references retire now.
         rn.resolveCheckpoint(e.ckptId);
         e.ckptResolved = true;
+        if (cfg.pooledCheckpoints)
+            releaseCkptRef(e.ckptRef);
         return;
     }
 
@@ -392,32 +489,63 @@ OutOfOrderCore::resolveBranch(RobEntry &e, uint32_t idx)
     ++st.branchMispredicts;
     if (target_wrong)
         ++st.targetMispredicts;
+    ++st.ckptsRestored;
 
     squashAfter(idx);
 
-    // Walker back onto the correct path.
-    walker.restore(e.walkerCkpt);
-    walker.steer(wi, wi.taken, wi.actualTarget);
+    if (cfg.pooledCheckpoints) {
+        CheckpointSlot &slot = ckptPool.get(e.ckptRef);
 
-    // Predictor state repair.
-    uint64_t h = e.bpSnap.history;
-    if (e.usedPredictor)
-        h = (h << 1) | (wi.taken ? 1 : 0);
-    predictor.setHistory(h);
-    ras.restore(e.bpSnap);
-    if (wi.isCall)
-        ras.push(wi.fallThrough);
-    else if (wi.isReturn)
-        ras.pop();
+        // Walker back onto the correct path.
+        walker.restore(slot.walker);
+        walker.steer(wi, wi.taken, wi.actualTarget);
 
-    specArch = e.archSnap;
-    fetchQueue.clear();
+        // Predictor state repair.
+        uint64_t h = slot.bp.history;
+        if (e.usedPredictor)
+            h = (h << 1) | (wi.taken ? 1 : 0);
+        predictor.setHistory(h);
+        ras.restore(slot.bp);
+        if (wi.isCall)
+            ras.push(wi.fallThrough);
+        else if (wi.isReturn)
+            ras.pop();
+
+        // Speculative architectural values: unwind the journal to
+        // this branch's rename point (a resolving branch has
+        // renamed, so archSeq is assigned).
+        PRI_ASSERT(slot.archSeq != CheckpointSlot::kUnrenamed,
+                   "resolving branch never renamed");
+        archJournal.unwindTo(slot.archSeq,
+                             [this](const ArchUndo &u) {
+                                 specArch[u.flat] = u.value;
+                             });
+    } else {
+        walker.restore(e.walkerCkpt);
+        walker.steer(wi, wi.taken, wi.actualTarget);
+
+        uint64_t h = e.bpSnap.history;
+        if (e.usedPredictor)
+            h = (h << 1) | (wi.taken ? 1 : 0);
+        predictor.setHistory(h);
+        ras.restore(e.bpSnap);
+        if (wi.isCall)
+            ras.push(wi.fallThrough);
+        else if (wi.isReturn)
+            ras.pop();
+
+        specArch = e.archSnap;
+    }
+
+    flushFetchBuffer();
     fetchResumeCycle = cycle + cfg.redirectPenalty;
 
     // The restored checkpoint has served its purpose; no older
     // branch will ever restore it.
     rn.resolveCheckpoint(e.ckptId);
     e.ckptResolved = true;
+    if (cfg.pooledCheckpoints)
+        releaseCkptRef(e.ckptRef);
 }
 
 void
@@ -432,17 +560,23 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
     while (robTail != stop) {
         const uint32_t last =
             (robTail + cfg.robSize - 1) % cfg.robSize;
-        RobEntry &y = rob[last];
+        RobHot &y = robHot[last];
+        RobCold &yc = robCold[last];
         PRI_ASSERT(y.valid);
         for (auto &s : y.src)
             rn.consumerSquashed(s);
-        if (y.isBranch)
-            rn.discardCheckpoint(y.ckptId);
+        if (y.isBranch) {
+            rn.discardCheckpoint(yc.ckptId);
+            // A squashed branch that already resolved gave its slot
+            // back then; only live refs are released here.
+            if (cfg.pooledCheckpoints && yc.ckptRef.valid())
+                releaseCkptRef(yc.ckptRef);
+        }
         if (y.hasDst) {
             if (to_free.size() == to_free.capacity())
                 ++st.scratchGrowths;
             to_free.push_back(
-                Freed{y.dst.cls, y.dstPreg, y.dstGen});
+                Freed{y.dstCls, y.dstPreg, yc.dstGen});
         }
         if (y.heldSlot) {
             y.heldSlot = false;
@@ -450,19 +584,20 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
         }
         y.valid = false;
         y.slotGen += 1;
+        unretiredBits[last / 64] &= ~(uint64_t{1} << (last % 64));
         robTail = last;
         --robCount;
         ++st.squashedInsts;
     }
 
-    lsq.squashYounger(rob[branch_idx].wi.seq);
+    lsq.squashYounger(robCold[branch_idx].wi.seq);
 
     // Drop squashed scheduler entries.
     std::erase_if(schedQueue, [this](uint32_t i) {
-        return !rob[i].valid || !rob[i].inScheduler;
+        return !robHot[i].valid || !robHot[i].inScheduler;
     });
 
-    rn.restoreCheckpoint(rob[branch_idx].ckptId);
+    rn.restoreCheckpoint(robCold[branch_idx].ckptId);
     for (const Freed &f : to_free)
         rn.squashDest(f.cls, f.preg, f.gen);
 }
@@ -477,24 +612,25 @@ OutOfOrderCore::commitStage()
     for (unsigned w = 0; w < cfg.width; ++w) {
         if (robCount == 0)
             return;
-        RobEntry &e = rob[robHead];
-        if (!e.valid || !e.retired)
+        RobHot &e = robHot[robHead];
+        RobCold &c = robCold[robHead];
+        if (!e.valid || !c.retired)
             return;
 
-        if (e.wi.isStore())
-            mem.dataAccess(e.wi.memAddr, true);
-        if (e.hasLsq)
-            lsq.commitHead(e.wi.seq);
+        if (c.wi.isStore())
+            mem.dataAccess(c.wi.memAddr, true);
+        if (c.hasLsq)
+            lsq.commitHead(c.wi.seq);
         if (e.hasDst)
-            rn.commitDest(e.dst.cls, e.prevMap, e.prevGen);
+            rn.commitDest(e.dstCls, c.prevMap, c.prevGen);
         if (e.isBranch) {
-            if (e.usedPredictor)
-                predictor.update(e.wi.pc, e.wi.taken, e.bpTok);
-            if (e.wi.taken && !e.wi.isReturn)
-                btb.update(e.wi.pc, e.wi.actualTarget);
-            PRI_ASSERT(e.ckptResolved,
+            if (c.usedPredictor)
+                predictor.update(c.wi.pc, c.wi.taken, c.bpTok);
+            if (c.wi.taken && !c.wi.isReturn)
+                btb.update(c.wi.pc, c.wi.actualTarget);
+            PRI_ASSERT(c.ckptResolved,
                        "branch committed before it resolved");
-            rn.releaseCheckpoint(e.ckptId);
+            rn.releaseCheckpoint(c.ckptId);
             ++st.committedBranches;
         }
 
@@ -518,12 +654,9 @@ OutOfOrderCore::selectStage()
     if (schedQueue.empty())
         return;
 
-    // Oldest-first selection.
-    std::sort(schedQueue.begin(), schedQueue.end(),
-              [this](uint32_t a, uint32_t b) {
-                  return rob[a].wi.seq < rob[b].wi.seq;
-              });
-
+    // Oldest-first selection. The queue is maintained in seq order
+    // (monotone rename appends, sorted replay re-inserts,
+    // order-preserving erases), so no per-cycle sort is needed.
     std::array<unsigned, 5> fu = {cfg.numIntAlu, cfg.numIntMultDiv,
                                   cfg.numFpAlu, cfg.numFpMultDiv,
                                   cfg.numMemPorts};
@@ -532,7 +665,7 @@ OutOfOrderCore::selectStage()
     for (auto it = schedQueue.begin();
          it != schedQueue.end() && issued < cfg.width;) {
         const uint32_t idx = *it;
-        RobEntry &e = rob[idx];
+        RobHot &e = robHot[idx];
         PRI_ASSERT(e.valid && e.inScheduler);
 
         if (e.readyForSelect > cycle || !srcSpecReady(e.src[0]) ||
@@ -540,7 +673,7 @@ OutOfOrderCore::selectStage()
             ++it;
             continue;
         }
-        const unsigned k = fuIndex(e.wi.cls);
+        const unsigned k = fuIndex(e.cls);
         if (fu[k] == 0) {
             ++it;
             continue;
@@ -552,10 +685,10 @@ OutOfOrderCore::selectStage()
         e.heldSlot = true;
         ++schedHeld;
         if (e.hasDst) {
-            const unsigned pred_lat = e.wi.isLoad()
+            const unsigned pred_lat = isa::isLoad(e.cls)
                 ? 1 + cfg.mem.dl1.latency
-                : isa::execLatency(e.wi.cls);
-            specAvail(e.dst.cls, e.dstPreg) =
+                : isa::execLatency(e.cls);
+            specAvail(e.dstCls, e.dstPreg) =
                 cycle + cfg.selectToExe + pred_lat;
         }
         scheduleEvent(cycle + cfg.selectToExe, EventType::ExeStart,
@@ -572,10 +705,11 @@ OutOfOrderCore::selectStage()
 void
 OutOfOrderCore::renameStage()
 {
+    const uint32_t fq_cap = static_cast<uint32_t>(fetchBuf.size());
     for (unsigned w = 0; w < cfg.width; ++w) {
-        if (fetchQueue.empty())
+        if (fetchCount == 0)
             return;
-        FetchedInst &f = fetchQueue.front();
+        FetchedInst &f = fetchBuf[fetchHead];
         if (f.readyAt > cycle)
             return;
 
@@ -599,15 +733,41 @@ OutOfOrderCore::renameStage()
         }
 
         const uint32_t idx = robTail;
-        const uint64_t gen = rob[idx].slotGen;
-        rob[idx] = RobEntry{};
-        RobEntry &e = rob[idx];
+        RobHot &e = robHot[idx];
+        RobCold &c = robCold[idx];
+        PRI_ASSERT(!e.valid, "renaming into a live ROB slot");
+        const uint64_t gen = e.slotGen;
+        e = RobHot{};
         e.valid = true;
         e.slotGen = gen + 1;
-        e.wi = wi;
-        e.fetchCycle = f.fetchCycle;
-        e.renameCycle = cycle;
+        e.seq = wi.seq;
+        e.cls = wi.cls;
         e.readyForSelect = cycle + cfg.renameToSelect;
+
+        // Reset the cold half field-by-field: the legacy-only
+        // snapshot blocks at its tail (walkerCkpt / bpSnap /
+        // archSnap, ~700 B) are left untouched — they are fully
+        // overwritten before any read on the legacy branch path and
+        // never read on the pooled one.
+        c.wi = wi;
+        c.dst = isa::noReg();
+        c.dstGen = 0;
+        c.prevMap = rename::MapEntry{};
+        c.prevGen = 0;
+        c.executed = false;
+        c.retired = false;
+        c.hasLsq = false;
+        c.replays = 0;
+        c.fetchCycle = f.fetchCycle;
+        c.renameCycle = cycle;
+        c.predTaken = false;
+        c.usedPredictor = false;
+        c.resolvedMispredict = false;
+        c.ckptResolved = false;
+        c.predTarget = 0;
+        c.ckptId = 0;
+        c.bpTok = branch::PredictToken{};
+        c.ckptRef = CkptRef{};
 
         // Source operands through the map (payload RAM fill).
         const isa::RegId srcs[2] = {wi.src1, wi.src2};
@@ -623,39 +783,59 @@ OutOfOrderCore::renameStage()
         // Destination allocation.
         if (wi.hasDst()) {
             e.hasDst = true;
-            e.dst = wi.dst;
+            c.dst = wi.dst;
+            e.dstCls = wi.dst.cls;
             auto dr = rn.renameDest(wi.dst, wi.resultValue);
             e.dstPreg = dr.preg;
-            e.dstGen = dr.gen;
-            e.prevMap = dr.prev;
-            e.prevGen = dr.prevGen;
+            c.dstGen = dr.gen;
+            c.prevMap = dr.prev;
+            c.prevGen = dr.prevGen;
             specAvail(wi.dst.cls, dr.preg) = kNever;
             actualAvail(wi.dst.cls, dr.preg) = kNever;
+            // Journal the old value unless no live checkpoint could
+            // ever unwind to before this write (pool empty: any
+            // younger branch records a position at or after it).
+            if (cfg.pooledCheckpoints && !ckptPool.empty()) {
+                archJournal.push(ArchUndo{
+                    specArch[wi.dst.flat()],
+                    static_cast<uint16_t>(wi.dst.flat())});
+            }
             specArch[wi.dst.flat()] = wi.resultValue;
         }
 
         if (isa::isMem(wi.cls)) {
             lsq.insert(wi.seq, wi.memAddr, wi.isStore());
-            e.hasLsq = true;
+            c.hasLsq = true;
         }
 
         if (wi.isBranch()) {
             e.isBranch = true;
-            e.predTaken = f.predTaken;
-            e.predTarget = f.predTarget;
-            e.usedPredictor = f.usedPredictor;
-            e.bpTok = f.bpTok;
-            e.bpSnap = f.bpSnap;
-            e.walkerCkpt = f.walkerCkpt;
-            e.ckptId = rn.createCheckpoint();
-            e.archSnap = specArch;
+            c.predTaken = f.predTaken;
+            c.predTarget = f.predTarget;
+            c.usedPredictor = f.usedPredictor;
+            c.bpTok = f.bpTok;
+            if (cfg.pooledCheckpoints) {
+                // The branch's recovery point includes its own dest
+                // write (matching the legacy snapshot, taken below
+                // after the dest block).
+                c.ckptRef = f.ckptRef;
+                f.ckptRef = CkptRef{};
+                ckptPool.get(c.ckptRef).archSeq = archJournal.seq();
+            } else {
+                c.bpSnap = f.bpSnap;
+                c.walkerCkpt = std::move(f.walkerCkpt);
+                c.archSnap = specArch;
+            }
+            c.ckptId = rn.createCheckpoint();
         }
 
         e.inScheduler = true;
         schedQueue.push_back(idx);
+        unretiredBits[idx / 64] |= uint64_t{1} << (idx % 64);
         robTail = (robTail + 1) % cfg.robSize;
         ++robCount;
-        fetchQueue.pop_front();
+        fetchHead = (fetchHead + 1) % fq_cap;
+        --fetchCount;
         ++st.renamedInsts;
     }
 }
@@ -671,7 +851,8 @@ OutOfOrderCore::fetchStage()
         ++st.fetchStallCycles;
         return;
     }
-    if (fetchQueue.size() >= cfg.fetchQueueSize())
+    const uint32_t fq_cap = static_cast<uint32_t>(fetchBuf.size());
+    if (fetchCount >= fq_cap)
         return;
 
     // One I-cache access per cycle for the current fetch group.
@@ -684,19 +865,43 @@ OutOfOrderCore::fetchStage()
     }
 
     for (unsigned w = 0; w < cfg.width; ++w) {
-        if (fetchQueue.size() >= cfg.fetchQueueSize())
+        if (fetchCount >= fq_cap)
             return;
+        // The next instruction may be a branch needing a checkpoint
+        // slot, and walker.next() cannot be undone: stall the group
+        // while the pool is exhausted (it never is at the default
+        // auto size).
+        if (cfg.pooledCheckpoints && ckptPool.full()) {
+            if (w == 0)
+                ++st.ckptPoolStalls;
+            return;
+        }
 
         workload::WInst wi = walker.next();
-        FetchedInst f;
+        FetchedInst &f =
+            fetchBuf[(fetchHead + fetchCount) % fq_cap];
         f.fetchCycle = cycle;
         f.readyAt = cycle + cfg.fetchToRename;
+        f.isBranch = false;
+        f.usedPredictor = false;
+        PRI_ASSERT(!f.ckptRef.valid(),
+                   "fetch slot reused with a live checkpoint");
 
         if (wi.isBranch()) {
             f.isBranch = true;
+            ++st.ckptsTaken;
+
             // Snapshot recovery state before speculative updates.
-            f.bpSnap.history = predictor.history();
-            ras.snapshot(f.bpSnap);
+            CheckpointSlot *slot = nullptr;
+            if (cfg.pooledCheckpoints) {
+                f.ckptRef = ckptPool.allocate();
+                slot = &ckptPool.get(f.ckptRef);
+                slot->bp.history = predictor.history();
+                ras.snapshot(slot->bp);
+            } else {
+                f.bpSnap.history = predictor.history();
+                ras.snapshot(f.bpSnap);
+            }
 
             bool pred_taken = true;
             if (!wi.isUncond) {
@@ -722,7 +927,10 @@ OutOfOrderCore::fetchStage()
             }
             f.predTaken = pred_taken;
             f.predTarget = pred_target;
-            f.walkerCkpt = walker.checkpoint();
+            if (cfg.pooledCheckpoints)
+                walker.checkpointInto(slot->walker);
+            else
+                f.walkerCkpt = walker.checkpoint();
 
             // Steer the walker down the *fetched* direction. A
             // wrong direction walks the real wrong path; a wrong
@@ -731,7 +939,7 @@ OutOfOrderCore::fetchStage()
             walker.steer(wi, pred_taken, wi.actualTarget);
 
             f.wi = wi;
-            fetchQueue.push_back(f);
+            ++fetchCount;
             ++st.fetchedInsts;
             if (pred_taken) {
                 // Fetch stops at the first taken branch in a cycle.
@@ -741,7 +949,7 @@ OutOfOrderCore::fetchStage()
         }
 
         f.wi = wi;
-        fetchQueue.push_back(f);
+        ++fetchCount;
         ++st.fetchedInsts;
     }
 }
@@ -752,10 +960,39 @@ OutOfOrderCore::checkInvariants() const
     rn.checkInvariants();
     PRI_ASSERT(robCount <= cfg.robSize);
     PRI_ASSERT(schedQueue.size() + schedHeld <= cfg.schedSize);
+    PRI_ASSERT(fetchCount <= fetchBuf.size());
     unsigned valid = 0;
-    for (const auto &e : rob)
+    for (const auto &e : robHot)
         valid += e.valid ? 1 : 0;
     PRI_ASSERT(valid == robCount, "ROB count mismatch");
+    for (uint32_t i = 0; i < cfg.robSize; ++i) {
+        const bool bit =
+            (unretiredBits[i / 64] >> (i % 64)) & 1;
+        const bool expect = robHot[i].valid && !robCold[i].retired;
+        PRI_ASSERT(bit == expect, "unretired bitmap out of sync");
+    }
+    PRI_ASSERT(std::is_sorted(schedQueue.begin(), schedQueue.end(),
+                              [this](uint32_t a, uint32_t b) {
+                                  return robHot[a].seq <
+                                      robHot[b].seq;
+                              }),
+               "scheduler queue lost seq order");
+    if (cfg.pooledCheckpoints) {
+        // Every live pool slot is owned by exactly one in-flight
+        // reference (fetch ring or ROB).
+        unsigned refs = 0;
+        for (uint32_t i = 0; i < cfg.robSize; ++i) {
+            if (robHot[i].valid && robCold[i].ckptRef.valid())
+                ++refs;
+        }
+        const uint32_t cap = static_cast<uint32_t>(fetchBuf.size());
+        for (uint32_t i = 0; i < fetchCount; ++i) {
+            if (fetchBuf[(fetchHead + i) % cap].ckptRef.valid())
+                ++refs;
+        }
+        PRI_ASSERT(refs == ckptPool.liveSlots(),
+                   "checkpoint pool leak or double ownership");
+    }
 }
 
 } // namespace pri::core

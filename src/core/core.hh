@@ -18,11 +18,12 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "branch/predictor.hh"
 #include "common/stats.hh"
+#include "common/undo_journal.hh"
+#include "core/checkpoint_pool.hh"
 #include "core/config.hh"
 #include "core/lsq.hh"
 #include "memory/cache.hh"
@@ -35,51 +36,74 @@ namespace pri::core
 /** Sentinel "never" cycle. */
 constexpr uint64_t kNever = ~uint64_t{0};
 
-/** One reorder-buffer entry (includes the payload-RAM fields). */
-struct RobEntry
+/**
+ * Hot half of a reorder-buffer entry: exactly the state the
+ * per-cycle wakeup/select loops read (payload RAM, readiness,
+ * scheduling flags). Kept dense and separate from RobCold so
+ * processEvents/selectStage touch ~1/10th of the bytes the old
+ * monolithic RobEntry dragged through the cache.
+ */
+struct RobHot
 {
-    bool valid = false;
-    uint64_t slotGen = 0; ///< bumped on reuse; filters stale events
-
-    workload::WInst wi;
+    uint64_t seq = 0;      ///< selection age (== wi.seq)
+    uint64_t slotGen = 0;  ///< bumped on reuse; filters stale events
+    uint64_t readyForSelect = 0;
 
     // Payload RAM: source operands as renamed.
     std::array<rename::SrcRead, 2> src;
 
-    bool hasDst = false;
-    isa::RegId dst = isa::noReg();
+    isa::OpClass cls = isa::OpClass::Nop;
+    isa::RegClass dstCls = isa::RegClass::Int;
     isa::PhysRegId dstPreg = isa::kInvalidPhysReg;
+
+    bool valid = false;
+    bool inScheduler = false;
+    bool heldSlot = false; ///< selected; still holds a sched slot
+    bool hasDst = false;
+    bool isBranch = false;
+};
+
+/**
+ * Cold half of a reorder-buffer entry: retire/commit bookkeeping and
+ * branch-recovery state, touched once per instruction rather than
+ * every scheduling cycle. With pooled checkpoints a branch carries
+ * only the 8-byte CkptRef; the embedded snapshot fields at the
+ * bottom exist solely for the legacy (pooledCheckpoints=false) copy
+ * path and are left untouched otherwise.
+ */
+struct RobCold
+{
+    workload::WInst wi;
+
+    isa::RegId dst = isa::noReg();
     uint64_t dstGen = 0;
     rename::MapEntry prevMap;
     uint64_t prevGen = 0;
 
     // Progress.
-    bool inScheduler = false;
-    bool heldSlot = false; ///< selected; still holds a sched slot
     bool executed = false;
     bool retired = false;
+    bool hasLsq = false;
     unsigned replays = 0;
     uint64_t fetchCycle = 0;
     uint64_t renameCycle = 0;
-    uint64_t readyForSelect = 0;
 
     // Branch state.
-    bool isBranch = false;
     bool predTaken = false;
-    uint64_t predTarget = 0;
+    bool usedPredictor = false; ///< conditional: tables were read
     bool resolvedMispredict = false;
     bool ckptResolved = false;
+    uint64_t predTarget = 0;
     rename::CkptId ckptId = 0;
-    workload::WalkerCkpt walkerCkpt;
-    branch::PredictorSnapshot bpSnap;
     branch::PredictToken bpTok;
-    bool usedPredictor = false; ///< conditional: tables were read
+    CkptRef ckptRef; ///< pooled front-end recovery state
+
+    // Legacy copy-everywhere checkpointing only:
+    workload::WalkerCkpt walkerCkpt;
+    branch::PredictorSnapshotFull bpSnap;
     /** Speculative architectural values at this branch (both
      *  classes), for dataflow-check recovery. */
     std::array<uint64_t, 2 * isa::kNumLogicalRegs> archSnap{};
-
-    // Memory state.
-    bool hasLsq = false;
 };
 
 /**
@@ -114,6 +138,12 @@ struct CoreStats
     /** Reallocations of cycle-loop scratch/wheel buffers. Zero in
      *  steady state once the buffers are hoisted and warmed up. */
     StatScalar &scratchGrowths;
+    /** Branch checkpoints taken at fetch (pooled or legacy). */
+    StatScalar &ckptsTaken;
+    /** Checkpoints restored by misprediction recovery. */
+    StatScalar &ckptsRestored;
+    /** Fetch cycles stalled because the checkpoint pool was full. */
+    StatScalar &ckptPoolStalls;
 };
 
 /** Execution-driven out-of-order core simulator. */
@@ -182,15 +212,26 @@ class OutOfOrderCore
     void fetchStage();
 
     // --- event handlers ---
-    void onExeStart(RobEntry &e, uint32_t idx);
-    void onExeComplete(RobEntry &e, uint32_t idx);
-    void onRetire(RobEntry &e);
+    void onExeStart(uint32_t idx);
+    void onExeComplete(uint32_t idx);
+    void onRetire(uint32_t idx);
 
-    void resolveBranch(RobEntry &e, uint32_t idx);
+    void resolveBranch(uint32_t idx);
     void squashAfter(uint32_t branch_idx);
 
     void scheduleEvent(uint64_t when, EventType type, uint32_t idx);
-    void replayInst(RobEntry &e, uint32_t idx);
+    void replayInst(uint32_t idx);
+
+    /** Release a pooled checkpoint and trim the undo journals to
+     *  the oldest checkpoint still live. */
+    void releaseCkptRef(CkptRef &ref);
+
+    /** Flush the fetch ring, releasing any pooled refs it holds. */
+    void flushFetchBuffer();
+
+    /** Any valid, unretired entry in the non-circular ROB index
+     *  range [lo, hi)? Serviced by the unretiredBits bitmap. */
+    bool anyUnretiredInRange(uint32_t lo, uint32_t hi) const;
 
     bool srcSpecReady(const rename::SrcRead &s) const;
     bool srcActualReady(const rename::SrcRead &s) const;
@@ -211,8 +252,14 @@ class OutOfOrderCore
     branch::Ras ras;
     Lsq lsq;
 
-    // ROB (circular).
-    std::vector<RobEntry> rob;
+    // ROB (circular, struct-of-arrays: hot scheduling state dense,
+    // cold retire/bookkeeping state aside).
+    std::vector<RobHot> robHot;
+    std::vector<RobCold> robCold;
+    /** One bit per ROB slot: valid && !retired. Lets the retire
+     *  stage's "all older retired?" privilege check scan words
+     *  instead of walking entries. */
+    std::vector<uint64_t> unretiredBits;
     uint32_t robHead = 0;
     uint32_t robTail = 0;
     uint32_t robCount = 0;
@@ -223,7 +270,9 @@ class OutOfOrderCore
     std::vector<uint32_t> schedQueue;
     unsigned schedHeld = 0;
 
-    // Fetch queue between fetch and rename.
+    // Fetch queue between fetch and rename: a fixed ring of
+    // cfg.fetchQueueSize() slots whose storage (including the legacy
+    // walker-checkpoint stack vectors) is reused forever.
     struct FetchedInst
     {
         workload::WInst wi;
@@ -234,11 +283,27 @@ class OutOfOrderCore
         uint64_t predTarget = 0;
         bool usedPredictor = false;
         branch::PredictToken bpTok;
-        branch::PredictorSnapshot bpSnap;
+        CkptRef ckptRef; ///< pooled front-end recovery state
+        // Legacy copy-everywhere checkpointing only:
+        branch::PredictorSnapshotFull bpSnap;
         workload::WalkerCkpt walkerCkpt;
     };
-    std::deque<FetchedInst> fetchQueue;
+    std::vector<FetchedInst> fetchBuf;
+    uint32_t fetchHead = 0;
+    uint32_t fetchCount = 0;
     uint64_t fetchResumeCycle = 0;
+
+    // Pooled branch checkpointing (cfg.pooledCheckpoints).
+    CheckpointPool ckptPool;
+    /** Undo journal for specArch: one record per renamed
+     *  destination, unwound on misprediction recovery instead of
+     *  copying the whole array per branch. */
+    struct ArchUndo
+    {
+        uint64_t value;
+        uint16_t flat;
+    };
+    UndoJournal<ArchUndo> archJournal;
 
     // Per-physical-register availability (timing scoreboard).
     std::array<std::vector<uint64_t>, 2> specAvail_;
@@ -255,7 +320,8 @@ class OutOfOrderCore
     // state allocates nothing (cfg.hoistScratch). The buffers trade
     // storage with their producers (wheel slot / local) via swap,
     // so capacity is retained and recirculated.
-    std::vector<Event> eventScratch;
+    std::vector<Event> eventScratch;   ///< completions/retires
+    std::vector<Event> eventScratch2;  ///< execution starts
     std::vector<Freed> freedScratch;
 
     uint64_t cycle = 0;

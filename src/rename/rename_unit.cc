@@ -309,14 +309,34 @@ CkptId
 RenameUnit::createCheckpoint()
 {
     const CkptId id = nextCkptId++;
-    Checkpoint c;
-    c.intMap = intState.map.copy();
-    c.fpMap = fpState.map.copy();
-    if (useCkptRefs())
-        takeCkptRefs(c, +1);
-    ckpts.emplace(id, std::move(c));
+    if (!ckptNodePool.empty()) {
+        auto node = std::move(ckptNodePool.back());
+        ckptNodePool.pop_back();
+        node.key() = id;
+        Checkpoint &c = node.mapped();
+        c.intMap = intState.map.copy();
+        c.fpMap = fpState.map.copy();
+        c.resolved = false;
+        if (useCkptRefs())
+            takeCkptRefs(c, +1);
+        ckpts.insert(std::move(node));
+    } else {
+        Checkpoint c;
+        c.intMap = intState.map.copy();
+        c.fpMap = fpState.map.copy();
+        if (useCkptRefs())
+            takeCkptRefs(c, +1);
+        ckpts.emplace(id, std::move(c));
+    }
     ++stats.checkpointsCreated;
     return id;
+}
+
+void
+RenameUnit::recycleCkptNode(
+    std::map<CkptId, Checkpoint>::iterator it)
+{
+    ckptNodePool.push_back(ckpts.extract(it));
 }
 
 void
@@ -371,7 +391,7 @@ RenameUnit::releaseCheckpoint(CkptId id)
     PRI_ASSERT(it->second.resolved,
                "checkpoint committed before the branch resolved");
     const bool was_oldest = it == ckpts.begin();
-    ckpts.erase(it);
+    recycleCkptNode(it);
     if (cfg.earlyRelease && was_oldest)
         sweepErFrees();
 }
@@ -384,7 +404,7 @@ RenameUnit::discardCheckpoint(CkptId id)
     if (useCkptRefs() && !it->second.resolved)
         takeCkptRefs(it->second, -1);
     const bool was_oldest = it == ckpts.begin();
-    ckpts.erase(it);
+    recycleCkptNode(it);
     if (cfg.earlyRelease && was_oldest)
         sweepErFrees();
     ++stats.checkpointsSquashed;

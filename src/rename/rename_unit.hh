@@ -367,11 +367,21 @@ class RenameUnit
     /** True when every checkpoint up to @p watermark has died. */
     bool erCkptHorizonClear(uint64_t watermark) const;
 
+    /** Retire a checkpoint's map node into the recycling pool. */
+    void recycleCkptNode(std::map<CkptId, Checkpoint>::iterator it);
+
     RenameConfig cfg;
     RenameStats stats;
     ClassState intState;
     ClassState fpState;
     std::map<CkptId, Checkpoint> ckpts;
+    /**
+     * Extracted map nodes awaiting reuse. Checkpoints churn once per
+     * branch; recycling the nodes (C++17 node handles, rekeyed on
+     * reuse) makes the steady state allocation-free while keeping
+     * std::map's ordered iteration and lookups untouched.
+     */
+    std::vector<std::map<CkptId, Checkpoint>::node_type> ckptNodePool;
     CkptId nextCkptId = 1;
     IdealInlineHook idealHook;
     uint64_t now = 0;

@@ -1,5 +1,7 @@
 #include "simulation.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "workload/program.hh"
 
@@ -65,9 +67,12 @@ simulate(const RunParams &params)
         core::CoreConfig::narrowBitsForWidth(params.width);
     const auto rn_cfg =
         makeRenameConfig(params.scheme, params.physRegs, narrow);
-    const core::CoreConfig cfg = params.width >= 8
+    core::CoreConfig cfg = params.width >= 8
         ? core::CoreConfig::eightWide(rn_cfg)
         : core::CoreConfig::fourWide(rn_cfg);
+    cfg.pooledCheckpoints = params.pooledCheckpoints;
+    if (std::getenv("PRI_LEGACY_CKPTS") != nullptr)
+        cfg.pooledCheckpoints = false;
 
     StatGroup stats;
     core::OutOfOrderCore cpu(cfg, program, stats);

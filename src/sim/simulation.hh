@@ -65,6 +65,14 @@ struct RunParams
     uint64_t measureInsts = 100000;
     uint64_t seed = 42;
     bool checkInvariants = false; ///< run invariant checks at end
+    /**
+     * Recover branch state through the checkpoint pool (default)
+     * rather than the legacy copy-everywhere path. Timing-identical;
+     * exists so harnesses can A/B the simulator-speed change. The
+     * PRI_LEGACY_CKPTS environment variable forces the legacy path
+     * for whole-binary spot checks.
+     */
+    bool pooledCheckpoints = true;
 };
 
 /** Headline metrics of one run. */

@@ -242,10 +242,21 @@ Walker::checkpoint() const
 }
 
 void
+Walker::checkpointInto(WalkerCkpt &out) const
+{
+    PRI_ASSERT(pending,
+               "walker checkpoints are taken at pending branches");
+    out.loc = loc;
+    out.stack.assign(stack.begin(), stack.end());
+    out.gidx = gidx;
+    out.hist = hist;
+}
+
+void
 Walker::restore(const WalkerCkpt &ckpt)
 {
     loc = ckpt.loc;
-    stack = ckpt.stack;
+    stack.assign(ckpt.stack.begin(), ckpt.stack.end());
     gidx = ckpt.gidx;
     hist = ckpt.hist;
     // The branch at `loc` has already been generated; the core must

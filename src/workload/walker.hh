@@ -63,6 +63,14 @@ class Walker
     /** Capture restorable state (legal only while a branch pends). */
     WalkerCkpt checkpoint() const;
 
+    /**
+     * Capture restorable state into caller-owned storage. @p out's
+     * stack vector is reused (assign, not reallocate), so a pooled
+     * checkpoint slot grows once to the deepest call stack seen and
+     * never allocates again.
+     */
+    void checkpointInto(WalkerCkpt &out) const;
+
     /** Restore state captured at a mispredicted branch. */
     void restore(const WalkerCkpt &ckpt);
 
