@@ -19,6 +19,32 @@
 namespace pri::core
 {
 
+/**
+ * Checker-validation fault injection (tests only). Each fault is a
+ * deliberately planted bug that corrupts state *silently* — i.e.
+ * without tripping the always-on internal assertions — so the golden
+ * -model diff checker can prove it detects real corruption. Never
+ * set outside tests.
+ */
+enum class InjectedFault : uint8_t
+{
+    None = 0,
+    /**
+     * Branch-misprediction recovery restores the walker with a stale
+     * dynamic-index counter: every value, address, and outcome drawn
+     * after the first recovery silently shifts off the committed
+     * path. Invisible to the dataflow asserts (the core stays
+     * self-consistent); only a reference model can see it.
+     */
+    StaleWalkerGidx,
+    /**
+     * Recovery re-steers the mispredicted branch down the *predicted*
+     * direction instead of the actual one: the core commits the wrong
+     * path. Again self-consistent, hence silent without a reference.
+     */
+    CommitWrongPath,
+};
+
 /** Full machine configuration for one simulation. */
 struct CoreConfig
 {
@@ -76,6 +102,9 @@ struct CoreConfig
      * counted in core.ckptPoolStalls.
      */
     unsigned ckptPoolSlots = 0;
+
+    /** Planted bug for diff-checker validation; see InjectedFault. */
+    InjectedFault injectFault = InjectedFault::None;
 
     /** Effective checkpoint-pool capacity. */
     unsigned

@@ -397,6 +397,19 @@ OutOfOrderCore::anyUnretiredInRange(uint32_t lo, uint32_t hi) const
     return (unretiredBits[whi] & hi_mask) != 0;
 }
 
+uint64_t
+OutOfOrderCore::readThroughValue(isa::RegClass cls,
+                                 isa::PhysRegId preg, uint64_t gen,
+                                 uint64_t fallback) const
+{
+    if (rn.isAllocated(cls, preg) && rn.physRegGen(cls, preg) == gen)
+        return rn.physRegValue(cls, preg);
+    // The producer no longer owns the register: it was legitimately
+    // released early (PRI inline / ER), so the value observed at
+    // writeback stands in.
+    return fallback;
+}
+
 void
 OutOfOrderCore::onRetire(uint32_t idx)
 {
@@ -420,6 +433,8 @@ OutOfOrderCore::onRetire(uint32_t idx)
             scheduleEvent(cycle + 2, EventType::Retire, idx);
             return;
         }
+        c.wbValue = readThroughValue(e.dstCls, e.dstPreg, c.dstGen,
+                                     c.wi.resultValue);
     }
     c.retired = true;
     unretiredBits[idx / 64] &= ~(uint64_t{1} << (idx % 64));
@@ -468,6 +483,37 @@ OutOfOrderCore::flushFetchBuffer()
 }
 
 void
+OutOfOrderCore::restoreWalker(const workload::WalkerCkpt &ckpt)
+{
+    if (cfg.injectFault == InjectedFault::StaleWalkerGidx) {
+        // Planted bug (checker validation): "forget" to restore the
+        // dynamic-index counter, as a refactor that drops gidx from
+        // the checkpoint would. Every random draw after the first
+        // recovery shifts, silently.
+        workload::WalkerCkpt corrupt = ckpt;
+        corrupt.gidx += 1;
+        walker.restore(corrupt);
+        return;
+    }
+    walker.restore(ckpt);
+}
+
+void
+OutOfOrderCore::steerResolvedBranch(const RobCold &c)
+{
+    const auto &wi = c.wi;
+    if (cfg.injectFault == InjectedFault::CommitWrongPath) {
+        // Planted bug (checker validation): re-steer down the
+        // *predicted* direction, so the machine commits the wrong
+        // path while staying perfectly self-consistent.
+        walker.steer(wi, c.predTaken,
+                     c.predTaken ? c.predTarget : wi.fallThrough);
+        return;
+    }
+    walker.steer(wi, wi.taken, wi.actualTarget);
+}
+
+void
 OutOfOrderCore::resolveBranch(uint32_t idx)
 {
     RobCold &e = robCold[idx];
@@ -497,8 +543,8 @@ OutOfOrderCore::resolveBranch(uint32_t idx)
         CheckpointSlot &slot = ckptPool.get(e.ckptRef);
 
         // Walker back onto the correct path.
-        walker.restore(slot.walker);
-        walker.steer(wi, wi.taken, wi.actualTarget);
+        restoreWalker(slot.walker);
+        steerResolvedBranch(e);
 
         // Predictor state repair.
         uint64_t h = slot.bp.history;
@@ -521,8 +567,8 @@ OutOfOrderCore::resolveBranch(uint32_t idx)
                                  specArch[u.flat] = u.value;
                              });
     } else {
-        walker.restore(e.walkerCkpt);
-        walker.steer(wi, wi.taken, wi.actualTarget);
+        restoreWalker(e.walkerCkpt);
+        steerResolvedBranch(e);
 
         uint64_t h = e.bpSnap.history;
         if (e.usedPredictor)
@@ -616,6 +662,24 @@ OutOfOrderCore::commitStage()
         RobCold &c = robCold[robHead];
         if (!e.valid || !c.retired)
             return;
+
+        if (observer) {
+            CommitRecord rec;
+            rec.seq = c.wi.seq;
+            rec.pc = c.wi.pc;
+            rec.op = e.cls;
+            rec.dst = c.dst;
+            if (e.hasDst) {
+                // Fresh read-through: a register corrupted between
+                // writeback and commit diverges here.
+                rec.value = readThroughValue(e.dstCls, e.dstPreg,
+                                             c.dstGen, c.wbValue);
+            }
+            rec.memAddr = isa::isMem(e.cls) ? c.wi.memAddr : 0;
+            rec.taken = e.isBranch && c.wi.taken;
+            rec.target = rec.taken ? c.wi.actualTarget : 0;
+            observer->onCommit(rec);
+        }
 
         if (c.wi.isStore())
             mem.dataAccess(c.wi.memAddr, true);
@@ -754,6 +818,7 @@ OutOfOrderCore::renameStage()
         c.dstGen = 0;
         c.prevMap = rename::MapEntry{};
         c.prevGen = 0;
+        c.wbValue = 0;
         c.executed = false;
         c.retired = false;
         c.hasLsq = false;

@@ -79,6 +79,10 @@ struct RobCold
     uint64_t dstGen = 0;
     rename::MapEntry prevMap;
     uint64_t prevGen = 0;
+    /** Dest value as read through the rename unit right after
+     *  writeback (commit-record fallback once the register has been
+     *  legitimately early-released). */
+    uint64_t wbValue = 0;
 
     // Progress.
     bool executed = false;
@@ -146,6 +150,39 @@ struct CoreStats
     StatScalar &ckptPoolStalls;
 };
 
+/**
+ * Architectural view of one committed instruction, handed to the
+ * retire-time observer at the commit stage. The destination value is
+ * read back *through the rename machinery* (the PRF entry while the
+ * producer still owns it, else the value captured at writeback), so
+ * rename/free-list corruption is observable here rather than masked
+ * by the walker's functional bookkeeping.
+ */
+struct CommitRecord
+{
+    uint64_t seq = 0;   ///< walker fetch sequence (diagnostics)
+    uint64_t pc = 0;
+    isa::OpClass op = isa::OpClass::Nop;
+    isa::RegId dst = isa::noReg();
+    uint64_t value = 0;   ///< dest value via the rename unit / PRF
+    uint64_t memAddr = 0; ///< effective address (loads/stores)
+    bool taken = false;   ///< actual direction (branches)
+    uint64_t target = 0;  ///< actual taken-path target (branches)
+};
+
+/**
+ * Retire-time observer: invoked once per committed instruction, in
+ * commit order, from the commit stage. Implemented by the golden
+ * model's DiffChecker; null (the default) costs the cycle loop one
+ * predictable branch.
+ */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+    virtual void onCommit(const CommitRecord &rec) = 0;
+};
+
 /** Execution-driven out-of-order core simulator. */
 class OutOfOrderCore
 {
@@ -180,6 +217,10 @@ class OutOfOrderCore
 
     /** Validate cross-module invariants; panics on violation. */
     void checkInvariants() const;
+
+    /** Install (or clear, with nullptr) the retire-time observer.
+     *  The observer must outlive the core or be cleared first. */
+    void setCommitObserver(CommitObserver *obs) { observer = obs; }
 
   private:
     enum class EventType : uint8_t
@@ -228,6 +269,19 @@ class OutOfOrderCore
 
     /** Flush the fetch ring, releasing any pooled refs it holds. */
     void flushFetchBuffer();
+
+    /** Restore the walker from a branch checkpoint, applying the
+     *  configured fault injection (checker validation only). */
+    void restoreWalker(const workload::WalkerCkpt &ckpt);
+
+    /** Steer the restored walker past a resolved branch (actual
+     *  outcome, unless fault injection commits the wrong path). */
+    void steerResolvedBranch(const RobCold &c);
+
+    /** Dest value read through the rename unit: the PRF entry while
+     *  the producer still owns (preg, gen), else @p fallback. */
+    uint64_t readThroughValue(isa::RegClass cls, isa::PhysRegId preg,
+                              uint64_t gen, uint64_t fallback) const;
 
     /** Any valid, unretired entry in the non-circular ROB index
      *  range [lo, hi)? Serviced by the unretiredBits bitmap. */
@@ -323,6 +377,8 @@ class OutOfOrderCore
     std::vector<Event> eventScratch;   ///< completions/retires
     std::vector<Event> eventScratch2;  ///< execution starts
     std::vector<Freed> freedScratch;
+
+    CommitObserver *observer = nullptr;
 
     uint64_t cycle = 0;
     uint64_t nCommitted = 0;

@@ -1,0 +1,35 @@
+#include "golden_model.hh"
+
+namespace pri::golden
+{
+
+GoldenModel::GoldenModel(const workload::SyntheticProgram &program)
+    : walker(program)
+{
+}
+
+const GoldenInst &
+GoldenModel::step()
+{
+    const workload::WInst wi = walker.next();
+    if (wi.isBranch()) {
+        // Architectural execution follows the actual outcome; there
+        // is no prediction and therefore no recovery.
+        walker.steer(wi, wi.taken, wi.actualTarget);
+    }
+
+    cur.index = n++;
+    cur.pc = wi.pc;
+    cur.cls = wi.cls;
+    cur.dst = wi.dst;
+    cur.value = wi.hasDst() ? wi.resultValue : 0;
+    cur.memAddr = isa::isMem(wi.cls) ? wi.memAddr : 0;
+    cur.taken = wi.isBranch() && wi.taken;
+    cur.target = cur.taken ? wi.actualTarget : 0;
+
+    if (wi.hasDst())
+        arch[wi.dst.flat()] = wi.resultValue;
+    return cur;
+}
+
+} // namespace pri::golden

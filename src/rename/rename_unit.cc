@@ -518,7 +518,9 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
         // entry still names this register.
         const MapEntry &cur = st.map.read(dst.idx);
         if (!cur.imm && cur.preg == preg) {
-            st.map.write(dst.idx, MapEntry::makeImm(value));
+            if (!cfg.injectFreeWithoutInline) {
+                st.map.write(dst.idx, MapEntry::makeImm(value));
+            }
             info.mappedBy = -1;
             info.erUnmapWatermark = nextCkptId - 1;
             ++stats.inlinedCurrentMap;
@@ -722,6 +724,12 @@ RenameUnit::physRegValue(isa::RegClass cls, isa::PhysRegId p) const
     return state(cls).pregs.at(p).value;
 }
 
+uint64_t
+RenameUnit::physRegGen(isa::RegClass cls, isa::PhysRegId p) const
+{
+    return state(cls).pregs.at(p).gen;
+}
+
 unsigned
 RenameUnit::occupancy(isa::RegClass cls) const
 {
@@ -791,8 +799,19 @@ RenameUnit::checkInvariants() const
             holding += st.pregs[p].holdsStorage ? 1 : 0;
         PRI_ASSERT(holding == st.storageUsed,
                    "storage accounting mismatch");
+        // The privileged (oldest-instruction) escape valve claims
+        // past the nominal budget, and those claims accumulate
+        // until the overwriting instructions commit — the true
+        // ceiling is the in-flight window, not the budget, and
+        // mid-run audits observe peaks near 3x the budget on small
+        // VP+PRI configurations (under VP+PRI inlined values free
+        // the namespace early, admitting far more claimants). Keep
+        // a generous margin: a real leak grows linearly with
+        // committed instructions and blows through any fixed
+        // multiple within a few thousand commits of an audit.
         PRI_ASSERT(!cfg.virtualPhysical ||
-                       st.storageUsed <= cfg.numPhysRegs + 16,
+                       st.storageUsed <= 4 * cfg.numPhysRegs +
+                           isa::kNumLogicalRegs,
                    "VP storage far over budget");
     }
 }

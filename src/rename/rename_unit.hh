@@ -73,6 +73,16 @@ struct RenameConfig
     /** Storage reserved for the oldest instructions under VP. */
     unsigned vpReserve = 4;
 
+    /**
+     * Checker-validation fault injection (tests only): on a narrow
+     * writeback that passes the Figure 7 WAW check, release the
+     * register *without* inlining its value into the map — the
+     * reclaim-ordering bug PRI's map update exists to prevent. A
+     * freed register then stays architecturally live, and the next
+     * reallocation corrupts it. Never set outside tests.
+     */
+    bool injectFreeWithoutInline = false;
+
     /** Human-readable scheme label for reports. */
     std::string schemeName() const;
 
@@ -290,6 +300,10 @@ class RenameUnit
 
     /** Functional value of an allocated physical register. */
     uint64_t physRegValue(isa::RegClass cls, isa::PhysRegId p) const;
+
+    /** Allocation generation of a physical register (matches the
+     *  gen returned by renameDest while the producer owns it). */
+    uint64_t physRegGen(isa::RegClass cls, isa::PhysRegId p) const;
 
     unsigned occupancy(isa::RegClass cls) const;
     bool isAllocated(isa::RegClass cls, isa::PhysRegId p) const;

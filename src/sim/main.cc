@@ -5,6 +5,7 @@
  * Usage:
  *   pri_sim [-b benchmark] [-w width] [-s scheme] [-p pregs]
  *           [-n measureInsts] [-u warmupInsts] [-v]
+ *           [--check-golden]
  *
  * Schemes: base er pri pri-lazy pri-ideal pri-ideal-lazy pri-er inf
  *          vp vp-pri
@@ -72,6 +73,8 @@ main(int argc, char **argv)
             p.seed = static_cast<uint64_t>(std::atoll(next()));
         } else if (a == "-v") {
             verbose = true;
+        } else if (a == "--check-golden") {
+            p.checkGolden = true;
         } else if (a == "-l" || a == "--list") {
             for (const auto &prof : pri::workload::allProfiles())
                 std::printf("%s\n", prof.name.c_str());
@@ -80,7 +83,8 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: pri_sim [-b bench] [-w width] "
                          "[-s scheme] [-p pregs] [-n insts] "
-                         "[-u warmup] [-v] [-l]\n");
+                         "[-u warmup] [-v] [-l] "
+                         "[--check-golden]\n");
             return 1;
         }
     }
@@ -113,6 +117,11 @@ main(int argc, char **argv)
                 "inlined %.3f\n",
                 r.branchMispredictRate, r.dl1MissRate,
                 r.inlinedFrac);
+    if (r.goldenChecked > 0) {
+        std::printf("golden-checked %llu commits, no divergence\n",
+                    static_cast<unsigned long long>(
+                        r.goldenChecked));
+    }
     if (verbose)
         std::printf("\n%s", r.report.c_str());
     return 0;

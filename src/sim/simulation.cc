@@ -1,8 +1,10 @@
 #include "simulation.hh"
 
 #include <cstdlib>
+#include <memory>
 
 #include "common/logging.hh"
+#include "golden/diff_checker.hh"
 #include "workload/program.hh"
 
 namespace pri::sim
@@ -63,19 +65,35 @@ simulate(const RunParams &params)
     const auto &profile = workload::profileByName(params.benchmark);
     workload::SyntheticProgram program(profile, params.seed);
 
-    const unsigned narrow =
-        core::CoreConfig::narrowBitsForWidth(params.width);
-    const auto rn_cfg =
+    const unsigned narrow = params.narrowBitsOverride
+        ? params.narrowBitsOverride
+        : core::CoreConfig::narrowBitsForWidth(params.width);
+    auto rn_cfg =
         makeRenameConfig(params.scheme, params.physRegs, narrow);
+    rn_cfg.injectFreeWithoutInline = params.injectFreeWithoutInline;
     core::CoreConfig cfg = params.width >= 8
         ? core::CoreConfig::eightWide(rn_cfg)
         : core::CoreConfig::fourWide(rn_cfg);
     cfg.pooledCheckpoints = params.pooledCheckpoints;
     if (std::getenv("PRI_LEGACY_CKPTS") != nullptr)
         cfg.pooledCheckpoints = false;
+    if (params.schedSizeOverride)
+        cfg.schedSize = params.schedSizeOverride;
+    cfg.injectFault = params.injectFault;
 
     StatGroup stats;
     core::OutOfOrderCore cpu(cfg, program, stats);
+
+    std::unique_ptr<golden::DiffChecker> checker;
+    if (params.checkGolden ||
+        std::getenv("PRI_CHECK_GOLDEN") != nullptr) {
+        golden::DiffChecker::Options opt;
+        opt.archCheckInterval = params.goldenAuditInterval;
+        checker =
+            std::make_unique<golden::DiffChecker>(program, opt);
+        checker->setAuditHook([&cpu] { cpu.checkInvariants(); });
+        cpu.setCommitObserver(checker.get());
+    }
 
     cpu.run(params.warmupInsts);
     cpu.beginMeasurement();
@@ -95,6 +113,8 @@ simulate(const RunParams &params)
 
     if (params.checkInvariants)
         cpu.checkInvariants();
+    if (checker)
+        checker->finishRun();
 
     RunResult r;
     r.benchmark = params.benchmark;
@@ -102,6 +122,8 @@ simulate(const RunParams &params)
     r.width = params.width;
     r.cycles = cpu.cycles() - c0;
     r.insts = cpu.committedInsts() - i0;
+    r.committedTotal = cpu.committedInsts();
+    r.goldenChecked = checker ? checker->checkedCommits() : 0;
     // IPC from the same measurement-window deltas as cycles/insts,
     // so the three fields are always mutually consistent (a run
     // whose window deltas were taken here must never mix in whole-

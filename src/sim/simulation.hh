@@ -66,6 +66,27 @@ struct RunParams
     uint64_t seed = 42;
     bool checkInvariants = false; ///< run invariant checks at end
     /**
+     * Lockstep-compare every committed instruction (and, at
+     * intervals, the full architectural register file) against the
+     * golden in-order model; panics on first divergence. The
+     * PRI_CHECK_GOLDEN environment variable forces this on for all
+     * runs in the process (used by CI to diff-check the figure
+     * harnesses unmodified).
+     */
+    bool checkGolden = false;
+    /**
+     * Commits between the checker's full register-file compares and
+     * invariant audits. Small intervals tighten the detection
+     * latency for corruption that is not visible through commit
+     * values alone (at a simulation-speed cost).
+     */
+    unsigned goldenAuditInterval = 64;
+    unsigned schedSizeOverride = 0;  ///< 0 = width preset's size
+    unsigned narrowBitsOverride = 0; ///< 0 = width preset's bits
+    /** Planted bugs for diff-checker validation (tests only). */
+    core::InjectedFault injectFault = core::InjectedFault::None;
+    bool injectFreeWithoutInline = false;
+    /**
      * Recover branch state through the checkpoint pool (default)
      * rather than the legacy copy-everywhere path. Timing-identical;
      * exists so harnesses can A/B the simulator-speed change. The
@@ -84,6 +105,9 @@ struct RunResult
     double ipc = 0.0;
     uint64_t cycles = 0;
     uint64_t insts = 0;
+
+    uint64_t committedTotal = 0; ///< whole run incl. warmup
+    uint64_t goldenChecked = 0;  ///< commits diff-checked (0 = off)
 
     double avgIntOccupancy = 0.0;
     double avgFpOccupancy = 0.0;

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Configuration fuzzer: randomized CoreConfig × workload points,
+ * every run diff-checked against the golden model.
+ *
+ * Points are drawn with the repo's counter-based hash RNG, so a
+ * given (PRI_FUZZ_SEED, index) pair always denotes the same
+ * configuration — a CI failure log names the seed and index, and
+ *
+ *   PRI_FUZZ_SEED=<seed> PRI_FUZZ_RUNS=<index+1> ./fuzz_config
+ *
+ * replays it locally (see EXPERIMENTS.md). PRI_FUZZ_RUNS defaults
+ * small for developer runs; CI raises it (32 under UBSan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/hashing.hh"
+#include "sim/simulation.hh"
+
+namespace pri
+{
+namespace
+{
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/** Deterministically expand (seed, index) into one config point. */
+sim::RunParams
+drawPoint(uint64_t seed, uint64_t index)
+{
+    // One salt per axis: axes stay independent, and adding an axis
+    // never reshuffles the others.
+    auto pick = [&](uint64_t salt, uint64_t bound) {
+        return hashCombine(seed, index, salt) % bound;
+    };
+
+    static const char *kBenches[] = {"gzip",   "gcc",  "mcf",
+                                     "crafty", "parser", "bzip2",
+                                     "art",    "swim", "wupwise"};
+    static const sim::Scheme kSchemes[] = {
+        sim::Scheme::Base,
+        sim::Scheme::EarlyRelease,
+        sim::Scheme::PriRefcountCkptcount,
+        sim::Scheme::PriRefcountLazy,
+        sim::Scheme::PriIdealCkptcount,
+        sim::Scheme::PriIdealLazy,
+        sim::Scheme::PriPlusEr,
+        sim::Scheme::InfinitePregs,
+        sim::Scheme::VirtualPhysical,
+        sim::Scheme::VirtualPhysicalPlusPri,
+    };
+    static const unsigned kPregs[] = {48, 64, 96, 128};
+    static const unsigned kSched[] = {16, 32, 64};
+    static const unsigned kNarrowBits[] = {4, 7, 10, 12};
+
+    sim::RunParams p;
+    p.benchmark = kBenches[pick(1, std::size(kBenches))];
+    p.width = pick(2, 2) ? 8 : 4;
+    p.scheme = kSchemes[pick(3, std::size(kSchemes))];
+    p.physRegs = kPregs[pick(4, std::size(kPregs))];
+    p.schedSizeOverride = kSched[pick(5, std::size(kSched))];
+    p.narrowBitsOverride =
+        kNarrowBits[pick(6, std::size(kNarrowBits))];
+    p.pooledCheckpoints = pick(7, 2) != 0;
+    p.seed = hashCombine(seed, index, 8);
+    p.warmupInsts = 2000;
+    p.measureInsts = 8000;
+    p.checkInvariants = true;
+    p.checkGolden = true;
+    return p;
+}
+
+TEST(ConfigFuzz, RandomConfigsStayGoldenClean)
+{
+    const uint64_t seed = envOr("PRI_FUZZ_SEED", 1);
+    const uint64_t runs = envOr("PRI_FUZZ_RUNS", 6);
+    for (uint64_t i = 0; i < runs; ++i) {
+        const auto p = drawPoint(seed, i);
+        SCOPED_TRACE("PRI_FUZZ_SEED=" + std::to_string(seed) +
+                     " index=" + std::to_string(i) + ": " +
+                     p.benchmark + " w" + std::to_string(p.width) +
+                     " " + sim::schemeName(p.scheme) + " pregs " +
+                     std::to_string(p.physRegs) + " sched " +
+                     std::to_string(p.schedSizeOverride) +
+                     " narrow " +
+                     std::to_string(p.narrowBitsOverride) +
+                     (p.pooledCheckpoints ? " pooled" : " legacy"));
+        const auto r = sim::simulate(p);
+        EXPECT_EQ(r.goldenChecked, r.committedTotal);
+        EXPECT_GE(r.goldenChecked,
+                  p.warmupInsts + p.measureInsts);
+    }
+}
+
+} // namespace
+} // namespace pri

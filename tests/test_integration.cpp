@@ -147,6 +147,28 @@ TEST(Integration, TenBitWindowCapturesMoreOperandsThanSeven)
     }
 }
 
+TEST(Integration, RetiredCountMatchesGoldenWalker)
+{
+    // The core's committed-instruction count must agree with an
+    // independent walk of the committed path: the golden walker
+    // advances once per observed commit, so any skipped or
+    // double-counted retirement shows up as a count mismatch (and
+    // any divergence in content kills the run outright).
+    RunParams p;
+    p.benchmark = "gcc";
+    p.width = 4;
+    p.scheme = Scheme::PriRefcountCkptcount;
+    p.warmupInsts = 5000;
+    p.measureInsts = 20000;
+    p.seed = 42;
+    p.checkInvariants = true;
+    p.checkGolden = true;
+    const auto r = simulate(p);
+    EXPECT_EQ(r.goldenChecked, r.committedTotal);
+    EXPECT_GE(r.committedTotal, p.warmupInsts + p.measureInsts);
+    EXPECT_LE(r.insts, r.committedTotal); // window ⊆ whole run
+}
+
 TEST(Integration, SchemesAgreeOnWorkloadCharacter)
 {
     // Scheme choice must not change workload-level properties.

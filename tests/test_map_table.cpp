@@ -68,6 +68,31 @@ TEST(RamMapTable, CheckpointRestore)
     EXPECT_EQ(map.read(4).preg, 4);
 }
 
+TEST(RamMapTable, CheckpointRestoreAcrossInlineTransitions)
+{
+    // PRI flow: a checkpoint can capture entries in either
+    // addressing mode, and either entry may have switched modes by
+    // the time a misprediction restores — inlined value overwritten
+    // by a wide (pointer) redefinition, and pointer replaced by an
+    // inlined narrow result. Restore must resurrect the exact mode
+    // and payload of the checkpoint, both directions.
+    RamMapTable map;
+    map.write(3, MapEntry::makeImm(42));
+    map.write(4, MapEntry::makePreg(50));
+    const auto snap = map.copy();
+
+    map.write(3, MapEntry::makePreg(51)); // inlined -> pointer
+    map.write(4, MapEntry::makeImm(7));   // pointer -> inlined
+    ASSERT_FALSE(map.read(3).imm);
+    ASSERT_TRUE(map.read(4).imm);
+
+    map.restore(snap);
+    EXPECT_TRUE(map.read(3).imm);
+    EXPECT_EQ(map.read(3).value, 42u);
+    EXPECT_FALSE(map.read(4).imm);
+    EXPECT_EQ(map.read(4).preg, 50);
+}
+
 TEST(CamMapTable, LookupAfterMap)
 {
     CamMapTable cam(64);

@@ -298,6 +298,46 @@ TEST(RenameUnitPri, RestoreConvertsPendingNarrowToImmediate)
     rn.checkInvariants();
 }
 
+TEST(RenameUnitPri, RestoreRevivesInlinedValueAfterPointerTransition)
+{
+    // The full inlined -> pointer transition across a checkpoint:
+    // the branch sees r2 in immediate mode; the wrong path then
+    // redefines r2 with a wide value, flipping the entry back to
+    // pointer mode. Recovery must squash the wrong-path register
+    // and leave r2 reading as the inlined value again.
+    Harness h(RenameConfig::priRefcountCkptcount(kPregs, 7));
+    auto &rn = h.rn;
+
+    auto d = rn.renameDest(intReg(2), 42);
+    rn.writeback(intReg(2), d.preg, d.gen, 42);
+    ASSERT_TRUE(rn.mapEntry(intReg(2)).imm);
+
+    const CkptId ck = rn.createCheckpoint(); // branch sees imm 42
+
+    auto d2 = rn.renameDest(intReg(2), 1000); // wide redefinition
+    rn.writeback(intReg(2), d2.preg, d2.gen, 1000);
+    ASSERT_FALSE(rn.mapEntry(intReg(2)).imm);
+    auto s = rn.readSrc(intReg(2));
+    ASSERT_EQ(s.value, 1000u);
+    rn.consumerDone(s);
+
+    // Mispredict: restore and squash the wrong-path destination.
+    rn.restoreCheckpoint(ck);
+    rn.squashDest(RegClass::Int, d2.preg, d2.gen);
+
+    const MapEntry &e = rn.mapEntry(intReg(2));
+    EXPECT_TRUE(e.imm);
+    EXPECT_EQ(e.value, 42u);
+    auto s2 = rn.readSrc(intReg(2));
+    EXPECT_TRUE(s2.imm);
+    EXPECT_EQ(s2.value, 42u);
+    EXPECT_FALSE(rn.isAllocated(RegClass::Int, d2.preg));
+
+    rn.resolveCheckpoint(ck);
+    rn.releaseCheckpoint(ck);
+    rn.checkInvariants();
+}
+
 TEST(RenameUnitEr, FreesCompleteUnmappedRegisterEarly)
 {
     Harness h(RenameConfig::er(kPregs, 7));
