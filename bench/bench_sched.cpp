@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Wakeup/select throughput bench: legacy polling vs event-driven
+ * wakeup (CoreConfig::eventWakeup), written to BENCH_sched.json.
+ *
+ * Three measurements:
+ *
+ *  1. Serial KIPS for the perf_smoke run batch with the event path
+ *     on (the default), compared against the committed
+ *     BENCH_runner.json serialKips baseline.
+ *  2. gcc on the 4-wide preset, legacy vs event: KIPS plus the
+ *     WakeupTelemetry counters (select scans per cycle, select-pool
+ *     occupancy, broadcasts, ready-list inserts).
+ *  3. A scheduler-pressure configuration — the 8-wide preset's
+ *     512-entry scheduler with a 256-entry register file, where
+ *     polling walks hundreds of waiting entries per cycle — same
+ *     comparison.
+ *
+ * The event path must allocate nothing in the measurement window
+ * (same zero-steady-state-allocation bar as perf_smoke).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/core.hh"
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "workload/program.hh"
+
+namespace
+{
+
+/** Global allocation counter fed by the operator-new overrides. */
+std::atomic<uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace pri;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** The perf_smoke serial batch (same grid, for a comparable KIPS). */
+std::vector<sim::RunParams>
+makeBatch(const bench::Budget &budget)
+{
+    std::vector<sim::RunParams> batch;
+    for (const auto &name : bench::intBenchmarks()) {
+        for (auto scheme :
+             {sim::Scheme::Base, sim::Scheme::PriRefcountLazy}) {
+            sim::RunParams p;
+            p.benchmark = name;
+            p.scheme = scheme;
+            p.warmupInsts = budget.warmup;
+            p.measureInsts = budget.measure;
+            batch.push_back(p);
+        }
+    }
+    return batch;
+}
+
+uint64_t
+simulatedInsts(const std::vector<sim::RunResult> &results)
+{
+    uint64_t n = 0;
+    for (const auto &r : results)
+        n += r.insts;
+    return n;
+}
+
+struct SchedProbe
+{
+    double kips = 0.0;
+    uint64_t cycles = 0;
+    uint64_t insts = 0;
+    uint64_t allocs = 0;
+    double selectScansPerCycle = 0.0; ///< entries select examined
+    double selectPoolOcc = 0.0;       ///< avg select-pool size
+    double broadcastsPerCycle = 0.0;  ///< event path only
+    double readyInsertsPer1k = 0.0;   ///< per 1k committed insts
+};
+
+/** One core run with the given wakeup implementation. */
+SchedProbe
+probeSched(bool event_wakeup, const std::string &benchmark,
+           bool sched_pressure, const bench::Budget &budget)
+{
+    const auto &profile = workload::profileByName(benchmark);
+    workload::SyntheticProgram program(profile, 11);
+
+    core::CoreConfig cfg;
+    if (sched_pressure) {
+        // The 8-wide preset's 512-entry scheduler with a PRF large
+        // enough to keep it populated: polling walks the whole
+        // waiting set every cycle.
+        const unsigned narrow =
+            core::CoreConfig::narrowBitsForWidth(8);
+        cfg = core::CoreConfig::eightWide(
+            rename::RenameConfig::base(256, narrow));
+    } else {
+        const unsigned narrow =
+            core::CoreConfig::narrowBitsForWidth(4);
+        cfg = core::CoreConfig::fourWide(
+            rename::RenameConfig::base(64, narrow));
+    }
+    cfg.eventWakeup = event_wakeup;
+
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, program, stats);
+
+    // Warm up past all one-time buffer growth.
+    cpu.run(budget.warmup);
+    cpu.beginMeasurement();
+
+    const uint64_t c0 = cpu.cycles();
+    const uint64_t i0 = cpu.committedInsts();
+    const core::WakeupTelemetry w0 = cpu.wakeupTelemetry();
+    const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+
+    const auto t0 = Clock::now();
+    cpu.run(budget.measure);
+    const double secs = secondsSince(t0);
+
+    SchedProbe probe;
+    probe.cycles = cpu.cycles() - c0;
+    probe.insts = cpu.committedInsts() - i0;
+    probe.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.kips = secs > 0
+        ? static_cast<double>(probe.insts) / secs / 1000.0
+        : 0.0;
+    const core::WakeupTelemetry &w1 = cpu.wakeupTelemetry();
+    const double cyc = static_cast<double>(probe.cycles);
+    if (probe.cycles > 0) {
+        probe.selectScansPerCycle =
+            static_cast<double>(w1.selectScans - w0.selectScans) /
+            cyc;
+        probe.selectPoolOcc =
+            static_cast<double>(w1.readyOccAccum -
+                                w0.readyOccAccum) /
+            cyc;
+        probe.broadcastsPerCycle =
+            static_cast<double>(w1.broadcasts - w0.broadcasts) /
+            cyc;
+    }
+    if (probe.insts > 0) {
+        probe.readyInsertsPer1k =
+            static_cast<double>(w1.readyInserts - w0.readyInserts) /
+            (static_cast<double>(probe.insts) / 1000.0);
+    }
+    return probe;
+}
+
+/** serialKips from the committed BENCH_runner.json, or 0. */
+double
+baselineSerialKips()
+{
+    // Prefer the repo copy: when run from the build tree, the CWD
+    // file is a leftover of a previous run, not the baseline.
+    for (const char *path :
+         {"../BENCH_runner.json", "BENCH_runner.json"}) {
+        std::FILE *f = std::fopen(path, "r");
+        if (!f)
+            continue;
+        char buf[4096];
+        const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+        std::fclose(f);
+        buf[n] = '\0';
+        if (const char *p = std::strstr(buf, "\"serialKips\":"))
+            return std::atof(p + std::strlen("\"serialKips\":"));
+    }
+    return 0.0;
+}
+
+void
+printPair(const char *label, const SchedProbe &legacy,
+          const SchedProbe &event)
+{
+    std::printf("%-28s %10s %10s %10s %10s %12s\n", label, "KIPS",
+                "scans/cyc", "pool occ", "bcast/cyc", "inserts/1k");
+    std::printf("%-28s %10.1f %10.2f %10.2f %10s %12s\n",
+                "legacy (poll everything)", legacy.kips,
+                legacy.selectScansPerCycle, legacy.selectPoolOcc,
+                "-", "-");
+    std::printf("%-28s %10.1f %10.2f %10.2f %10.2f %12.1f\n",
+                "event (consumer lists)", event.kips,
+                event.selectScansPerCycle, event.selectPoolOcc,
+                event.broadcastsPerCycle, event.readyInsertsPer1k);
+    std::printf("speedup: %.2fx\n\n",
+                legacy.kips > 0 ? event.kips / legacy.kips : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+
+    std::printf("== Wakeup/select throughput bench ==\n");
+    std::printf("warmup %llu, measure %llu insts per run\n\n",
+                static_cast<unsigned long long>(opts.budget.warmup),
+                static_cast<unsigned long long>(
+                    opts.budget.measure));
+
+    const double base_kips = baselineSerialKips();
+
+    // Serial batch with the event path on (the default), matching
+    // perf_smoke's serial measurement for a comparable number.
+    const auto batch = makeBatch(opts.budget);
+    const auto t0 = Clock::now();
+    const auto serial = sim::SimulationRunner(1).run(batch);
+    const double serial_s = secondsSince(t0);
+    const double serial_kips =
+        simulatedInsts(serial) / serial_s / 1000.0;
+
+    std::printf("serial batch (event wakeup): %.1f KIPS over %zu "
+                "runs\n",
+                serial_kips, batch.size());
+    if (base_kips > 0.0) {
+        std::printf("baseline BENCH_runner.json serialKips %.1f -> "
+                    "%.1f (%.2fx)\n",
+                    base_kips, serial_kips,
+                    serial_kips / base_kips);
+    }
+    std::printf("\n");
+
+    const auto gcc_legacy =
+        probeSched(false, "gcc", false, opts.budget);
+    const auto gcc_event =
+        probeSched(true, "gcc", false, opts.budget);
+    printPair("gcc (4-wide, sched 32)", gcc_legacy, gcc_event);
+
+    const auto sp_legacy =
+        probeSched(false, "gcc", true, opts.budget);
+    const auto sp_event = probeSched(true, "gcc", true, opts.budget);
+    printPair("gcc (8-wide, sched 512)", sp_legacy, sp_event);
+
+    if (gcc_event.allocs != 0 || sp_event.allocs != 0) {
+        std::printf("FAIL: event wakeup allocated in the "
+                    "measurement window (%llu + %llu allocs)\n",
+                    static_cast<unsigned long long>(
+                        gcc_event.allocs),
+                    static_cast<unsigned long long>(sp_event.allocs));
+        return 1;
+    }
+    std::printf("event path: zero steady-state allocations over "
+                "%llu + %llu cycles\n",
+                static_cast<unsigned long long>(gcc_event.cycles),
+                static_cast<unsigned long long>(sp_event.cycles));
+
+    const std::string json_path =
+        opts.jsonPath.empty() ? "BENCH_sched.json" : opts.jsonPath;
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"serialKips\": %.1f,\n"
+            "  \"baselineSerialKips\": %.1f,\n"
+            "  \"serialSpeedup\": %.3f,\n"
+            "  \"gccLegacyKips\": %.1f,\n"
+            "  \"gccEventKips\": %.1f,\n"
+            "  \"gccSpeedup\": %.3f,\n"
+            "  \"gccLegacyScansPerCycle\": %.2f,\n"
+            "  \"gccEventScansPerCycle\": %.2f,\n"
+            "  \"gccLegacyPoolOcc\": %.2f,\n"
+            "  \"gccEventPoolOcc\": %.2f,\n"
+            "  \"gccEventBroadcastsPerCycle\": %.2f,\n"
+            "  \"gccEventReadyInsertsPer1k\": %.1f,\n"
+            "  \"pressureLegacyKips\": %.1f,\n"
+            "  \"pressureEventKips\": %.1f,\n"
+            "  \"pressureSpeedup\": %.3f,\n"
+            "  \"pressureLegacyScansPerCycle\": %.2f,\n"
+            "  \"pressureEventScansPerCycle\": %.2f,\n"
+            "  \"pressureLegacyPoolOcc\": %.2f,\n"
+            "  \"pressureEventPoolOcc\": %.2f,\n"
+            "  \"pressureEventBroadcastsPerCycle\": %.2f,\n"
+            "  \"pressureEventReadyInsertsPer1k\": %.1f,\n"
+            "  \"eventAllocs\": %llu\n"
+            "}\n",
+            serial_kips, base_kips,
+            base_kips > 0 ? serial_kips / base_kips : 0.0,
+            gcc_legacy.kips, gcc_event.kips,
+            gcc_legacy.kips > 0 ? gcc_event.kips / gcc_legacy.kips
+                                : 0.0,
+            gcc_legacy.selectScansPerCycle,
+            gcc_event.selectScansPerCycle, gcc_legacy.selectPoolOcc,
+            gcc_event.selectPoolOcc, gcc_event.broadcastsPerCycle,
+            gcc_event.readyInsertsPer1k, sp_legacy.kips,
+            sp_event.kips,
+            sp_legacy.kips > 0 ? sp_event.kips / sp_legacy.kips
+                               : 0.0,
+            sp_legacy.selectScansPerCycle,
+            sp_event.selectScansPerCycle, sp_legacy.selectPoolOcc,
+            sp_event.selectPoolOcc, sp_event.broadcastsPerCycle,
+            sp_event.readyInsertsPer1k,
+            static_cast<unsigned long long>(gcc_event.allocs +
+                                            sp_event.allocs));
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

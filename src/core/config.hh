@@ -95,6 +95,20 @@ struct CoreConfig
     bool pooledCheckpoints = true;
 
     /**
+     * Wake scheduler entries through per-(class, preg) consumer
+     * lists and select from a seq-ordered ready list (the classic
+     * broadcast wakeup/select structure) instead of re-polling every
+     * scheduler entry's sources each cycle. Timing-identical by
+     * construction: the ready list is a superset of the poll-ready
+     * entries and select re-applies the exact polling predicate in
+     * the same age order. Only simulator speed changes. The legacy
+     * polling path is kept so bench/bench_sched can measure the
+     * algorithmic win; the PRI_LEGACY_WAKEUP environment variable
+     * forces it for whole-binary spot checks.
+     */
+    bool eventWakeup = true;
+
+    /**
      * Checkpoint-pool slots; 0 = auto (robSize + fetchQueueSize,
      * one slot per branch that can possibly be in flight, so fetch
      * never stalls on the pool). Smaller values model a finite

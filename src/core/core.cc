@@ -1,6 +1,7 @@
 #include "core.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "isa/op_class.hh"
@@ -51,6 +52,15 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
     unretiredBits.assign((cfg.robSize + 63) / 64, 0);
     schedQueue.reserve(cfg.schedSize);
 
+    if (cfg.eventWakeup) {
+        for (auto cls : {0, 1})
+            consHead_[cls].assign(cfg.rename.renameTagSpace(), -1);
+        cons_.assign(2 * cfg.robSize, ConsLinks{});
+        readyBits_.assign((cfg.robSize + 63) / 64, 0);
+        wakeBucketHead_.assign(kWheelSize, -1);
+        wake_.assign(cfg.robSize, WakeLinks{});
+    }
+
     // Pre-size the cycle-loop buffers so the steady state never
     // touches the heap. Each in-flight instruction has at most one
     // outstanding wheel event, so robSize bounds per-slot demand
@@ -63,6 +73,13 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
         eventScratch2.reserve(cfg.robSize);
         freedScratch.reserve(cfg.robSize);
     }
+
+    // Map-node pool for rename checkpoints: pre-fill to the
+    // checkpoint-capacity bound so the first time the in-flight
+    // branch count hits a new high-water mark (possibly deep into
+    // measurement) createCheckpoint still reuses a node instead of
+    // allocating.
+    rn.reserveCheckpointNodes(cfg.ckptPoolSize());
 
     if (cfg.pooledCheckpoints) {
         // One arch-undo record per in-flight dest-writer bounds the
@@ -79,10 +96,16 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
 
     // Ideal-PRI payload rewrite: convert every in-flight consumer of
     // (cls, preg) to carry the inlined immediate (paper §3.3's
-    // fully-associative payload RAM search-and-update).
+    // fully-associative payload RAM search-and-update). The event
+    // path walks the register's consumer list — O(consumers) — the
+    // legacy path models the CAM naively as a full ROB walk.
     rn.setIdealInlineHook([this](isa::RegClass cls,
                                  isa::PhysRegId preg,
                                  uint64_t value) {
+        if (cfg.eventWakeup) {
+            idealInlineRewrite(cls, preg, value);
+            return;
+        }
         for (uint32_t i = 0, idx = robHead; i < robCount;
              ++i, idx = (idx + 1) % cfg.robSize) {
             RobHot &e = robHot[idx];
@@ -159,6 +182,229 @@ OutOfOrderCore::scheduleEvent(uint64_t when, EventType type,
     slot.push_back(Event{type, idx, robHot[idx].slotGen});
 }
 
+// ---------------------------------------------------------------
+// Event-driven wakeup (cfg.eventWakeup)
+//
+// These helpers run several times per committed instruction, so
+// they carry no per-operation asserts; checkInvariants() audits
+// every structural invariant (list membership <-> flags, sort
+// order, counts) after each run and under the golden checker.
+// ---------------------------------------------------------------
+
+int32_t &
+OutOfOrderCore::consHeadRef(isa::RegClass cls, isa::PhysRegId p)
+{
+    return consHead_[static_cast<unsigned>(cls)][p];
+}
+
+void
+OutOfOrderCore::consLink(uint32_t idx, unsigned s)
+{
+    const auto &sr = robHot[idx].src[s];
+    const int32_t node = static_cast<int32_t>(idx * 2 + s);
+    int32_t &head = consHeadRef(sr.cls, sr.preg);
+    cons_[node].prev = -1;
+    cons_[node].next = head;
+    if (head != -1)
+        cons_[head].prev = node;
+    head = node;
+}
+
+void
+OutOfOrderCore::consUnlink(uint32_t idx, unsigned s)
+{
+    const auto &sr = robHot[idx].src[s];
+    const int32_t node = static_cast<int32_t>(idx * 2 + s);
+    const int32_t nx = cons_[node].next;
+    const int32_t pv = cons_[node].prev;
+    if (nx != -1)
+        cons_[nx].prev = pv;
+    if (pv != -1)
+        cons_[pv].next = nx;
+    else
+        consHeadRef(sr.cls, sr.preg) = nx;
+    cons_[node].next = -1;
+    cons_[node].prev = -1;
+}
+
+void
+OutOfOrderCore::readyInsert(uint32_t idx)
+{
+    RobHot &e = robHot[idx];
+    if (wake_[idx].at != kNever)
+        wakeUnlink(idx);
+    e.inReadyList = true;
+    ++readyCount_;
+    ++wk.readyInserts;
+    readyBits_[idx / 64] |= uint64_t{1} << (idx % 64);
+}
+
+void
+OutOfOrderCore::readyRemove(uint32_t idx)
+{
+    robHot[idx].inReadyList = false;
+    --readyCount_;
+    readyBits_[idx / 64] &= ~(uint64_t{1} << (idx % 64));
+}
+
+void
+OutOfOrderCore::scheduleWake(uint32_t idx, uint64_t when)
+{
+    PRI_ASSERT(when > cycle && when - cycle < kWheelSize,
+               "wakeup beyond wheel horizon");
+    if (wake_[idx].at != kNever) {
+        // Keep the minimum: an earlier pending wakeup re-verifies
+        // and reschedules if the entry is still not ready then.
+        if (wake_[idx].at <= when)
+            return;
+        wakeUnlink(idx);
+    }
+    wake_[idx].at = when;
+    const unsigned b = static_cast<unsigned>(when % kWheelSize);
+    const int32_t self = static_cast<int32_t>(idx);
+    wake_[self].prev = -1;
+    wake_[self].next = wakeBucketHead_[b];
+    if (wakeBucketHead_[b] != -1)
+        wake_[wakeBucketHead_[b]].prev = self;
+    wakeBucketHead_[b] = self;
+}
+
+void
+OutOfOrderCore::wakeUnlink(uint32_t idx)
+{
+    const int32_t self = static_cast<int32_t>(idx);
+    if (wake_[self].prev != -1)
+        wake_[wake_[self].prev].next = wake_[self].next;
+    else
+        wakeBucketHead_[wake_[idx].at % kWheelSize] =
+            wake_[self].next;
+    if (wake_[self].next != -1)
+        wake_[wake_[self].next].prev = wake_[self].prev;
+    wake_[self].next = -1;
+    wake_[self].prev = -1;
+    wake_[idx].at = kNever;
+}
+
+void
+OutOfOrderCore::drainWakeups()
+{
+    const unsigned b = static_cast<unsigned>(cycle % kWheelSize);
+    int32_t n = wakeBucketHead_[b];
+    wakeBucketHead_[b] = -1;
+    while (n != -1) {
+        const int32_t next = wake_[n].next;
+        wake_[n].next = -1;
+        wake_[n].prev = -1;
+        wake_[n].at = kNever;
+        ++wk.wakeupsDrained;
+        wakeVerify(static_cast<uint32_t>(n));
+        n = next;
+    }
+}
+
+void
+OutOfOrderCore::wakeVerify(uint32_t idx)
+{
+    RobHot &e = robHot[idx];
+    if (!e.inScheduler || e.inReadyList)
+        return;
+    uint64_t when;
+    if (!predictReadyCycle(idx, when)) {
+        // Producer unscheduled: its select broadcast re-verifies
+        // this entry (the consumer-list link persists until
+        // completion).
+        return;
+    }
+    if (when <= cycle + kNearWake)
+        readyInsert(idx);
+    else
+        scheduleWake(idx, when);
+}
+
+bool
+OutOfOrderCore::predictReadyCycle(uint32_t idx, uint64_t &when) const
+{
+    const RobHot &e = robHot[idx];
+    when = e.readyForSelect;
+    for (const auto &s : e.src) {
+        if (!s.valid || s.imm)
+            continue;
+        const uint64_t a =
+            specAvail_[static_cast<unsigned>(s.cls)][s.preg];
+        if (a == kNever)
+            return false;
+        // Earliest select cycle at which the source counts as
+        // spec-ready: specAvail <= cycle + selectToExe.
+        const uint64_t rt =
+            a > cfg.selectToExe ? a - cfg.selectToExe : 0;
+        when = std::max(when, rt);
+    }
+    return true;
+}
+
+void
+OutOfOrderCore::scanDefer(uint32_t idx)
+{
+    // A parked entry failed select's readiness recheck: its
+    // prediction regressed after it entered the ready set (load
+    // miss, replay). Re-predict instead of leaving it to be
+    // re-scanned and skipped every cycle -- a load-miss consumer
+    // would otherwise linger for the full miss round-trip. Re-entry
+    // happens no later than the entry can next become poll-ready
+    // (timed wake at the recomputed cycle, or the unscheduled
+    // producer's broadcast), so select still sees a superset of the
+    // poll-ready entries and issue decisions are unchanged.
+    uint64_t when;
+    if (!predictReadyCycle(idx, when)) {
+        readyRemove(idx);
+        return;
+    }
+    if (when > cycle + kNearWake) {
+        readyRemove(idx);
+        scheduleWake(idx, when);
+    }
+    // Near wakes stay parked: unlink/relink churn costs more than
+    // a few lazy skips.
+}
+
+void
+OutOfOrderCore::broadcastAvail(isa::RegClass cls,
+                               isa::PhysRegId preg)
+{
+    ++wk.broadcasts;
+    for (int32_t n = consHead_[static_cast<unsigned>(cls)][preg];
+         n != -1; n = cons_[n].next) {
+        ++wk.consumersWoken;
+        wakeVerify(static_cast<uint32_t>(n) >> 1);
+    }
+}
+
+void
+OutOfOrderCore::idealInlineRewrite(isa::RegClass cls,
+                                   isa::PhysRegId preg,
+                                   uint64_t value)
+{
+    int32_t n = consHead_[static_cast<unsigned>(cls)][preg];
+    while (n != -1) {
+        const int32_t next = cons_[n].next;
+        const uint32_t idx = static_cast<uint32_t>(n) >> 1;
+        auto &s = robHot[idx].src[n & 1];
+        PRI_ASSERT(s.valid && !s.imm && s.refHeld &&
+                       s.cls == cls && s.preg == preg,
+                   "consumer list out of sync with payload RAM");
+        consUnlink(idx, static_cast<unsigned>(n & 1));
+        rn.consumerSquashed(s); // releases the reference
+        s.imm = true;
+        s.value = value;
+        s.preg = isa::kInvalidPhysReg;
+        // No readiness change: the producer completed long before
+        // this writeback-time inline, so the source was already
+        // spec-ready and stays so as an immediate.
+        n = next;
+    }
+    PRI_ASSERT(consHead_[static_cast<unsigned>(cls)][preg] == -1);
+}
+
 void
 OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
 {
@@ -177,7 +423,7 @@ OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
         if (cycle - lastCommitCycle > 500000) {
             panic("no commit in 500k cycles at cycle {} "
                   "(rob {}, sched {}+{}, fetchq {})",
-                  cycle, robCount, schedQueue.size(), schedHeld,
+                  cycle, robCount, schedCount_, schedHeld,
                   fetchCount);
         }
         ++cycle;
@@ -302,6 +548,14 @@ OutOfOrderCore::replayInst(uint32_t idx)
     --schedHeld;
     e.inScheduler = true;
     e.readyForSelect = cycle + 1;
+    ++schedCount_;
+    if (cfg.eventWakeup) {
+        // readyForSelect = cycle + 1 floors the wake in the future,
+        // so a replayed entry is (exactly like polling) eligible no
+        // earlier than next cycle's select.
+        wakeVerify(idx);
+        return;
+    }
     // Sorted re-insert: the scheduler queue is kept in seq order at
     // all times (rename appends monotonically, erases preserve
     // order), so selectStage never has to sort.
@@ -350,8 +604,15 @@ OutOfOrderCore::onExeStart(uint32_t idx)
     }
 
     if (e.hasDst) {
-        // The true completion time is now known.
-        specAvail(e.dstCls, e.dstPreg) = cycle + lat;
+        // The true completion time is now known. Re-broadcast only
+        // when it differs from the select-time prediction (load
+        // misses): waiting consumers re-verify against the moved
+        // target, already-ready ones are re-checked at select.
+        uint64_t &sa = specAvail(e.dstCls, e.dstPreg);
+        const bool changed = sa != cycle + lat;
+        sa = cycle + lat;
+        if (cfg.eventWakeup && changed)
+            broadcastAvail(e.dstCls, e.dstPreg);
     }
     scheduleEvent(cycle + lat, EventType::ExeComplete, idx);
 }
@@ -363,13 +624,24 @@ OutOfOrderCore::onExeComplete(uint32_t idx)
     robCold[idx].executed = true;
 
     if (e.hasDst) {
-        specAvail(e.dstCls, e.dstPreg) = cycle;
+        // Completion confirms the exe-start time; re-broadcast only
+        // in the (not normally reachable) case it differs.
+        uint64_t &sa = specAvail(e.dstCls, e.dstPreg);
+        const bool changed = sa != cycle;
+        sa = cycle;
         actualAvail(e.dstCls, e.dstPreg) = cycle;
+        if (cfg.eventWakeup && changed)
+            broadcastAvail(e.dstCls, e.dstPreg);
     }
     // Consumers are done with their operands (reads happened in the
-    // RF stages / bypass on the way here).
-    for (auto &s : e.src)
+    // RF stages / bypass on the way here); their consumer-list
+    // links retire with them.
+    for (unsigned i = 0; i < 2; ++i) {
+        auto &s = e.src[i];
+        if (cfg.eventWakeup && s.valid && !s.imm && s.refHeld)
+            consUnlink(idx, i);
         rn.consumerDone(s);
+    }
 
     if (e.isBranch)
         resolveBranch(idx);
@@ -609,6 +881,24 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
         RobHot &y = robHot[last];
         RobCold &yc = robCold[last];
         PRI_ASSERT(y.valid);
+        if (cfg.eventWakeup) {
+            // Eager unwind of the wakeup index (no journal): drop
+            // consumer-list links, the ready-list node, and any
+            // pending timed wakeup before the entry dies.
+            for (unsigned i = 0; i < 2; ++i) {
+                const auto &s = y.src[i];
+                if (s.valid && !s.imm && s.refHeld)
+                    consUnlink(last, i);
+            }
+            if (y.inReadyList)
+                readyRemove(last);
+            if (wake_[last].at != kNever)
+                wakeUnlink(last);
+        }
+        if (y.inScheduler) {
+            y.inScheduler = false;
+            --schedCount_;
+        }
         for (auto &s : y.src)
             rn.consumerSquashed(s);
         if (y.isBranch) {
@@ -638,10 +928,13 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
 
     lsq.squashYounger(robCold[branch_idx].wi.seq);
 
-    // Drop squashed scheduler entries.
-    std::erase_if(schedQueue, [this](uint32_t i) {
-        return !robHot[i].valid || !robHot[i].inScheduler;
-    });
+    // Drop squashed scheduler entries (legacy polling queue only;
+    // the event path unlinked them in the walk above).
+    if (!cfg.eventWakeup) {
+        std::erase_if(schedQueue, [this](uint32_t i) {
+            return !robHot[i].valid || !robHot[i].inScheduler;
+        });
+    }
 
     rn.restoreCheckpoint(robCold[branch_idx].ckptId);
     for (const Freed &f : to_free)
@@ -715,6 +1008,87 @@ OutOfOrderCore::commitStage()
 void
 OutOfOrderCore::selectStage()
 {
+    if (cfg.eventWakeup) {
+        // Timed wakeups land before select so entries predicted
+        // ready this cycle are eligible this cycle, like polling.
+        drainWakeups();
+        wk.readyOccAccum += readyCount_;
+        if (readyCount_ == 0)
+            return;
+
+        std::array<unsigned, 5> fu = {
+            cfg.numIntAlu, cfg.numIntMultDiv, cfg.numFpAlu,
+            cfg.numFpMultDiv, cfg.numMemPorts};
+        unsigned issued = 0;
+
+        // Oldest-first over the ready bitmap: walking the ROB ring
+        // from robHead visits slots in rename (seq) order, so age
+        // priority falls out of the word scan with no sorted
+        // structure to maintain. The head word is visited twice --
+        // once for the bits at/above robHead (oldest entries), once
+        // at the end for the wrapped bits below it. The set is a
+        // superset of the poll-ready entries (lazy removal), so
+        // re-apply the exact polling predicate per entry; entries
+        // whose predicted readiness regressed are skipped in place
+        // and issue identically to the polling path once true.
+        const size_t words = readyBits_.size();
+        const size_t hw = robHead / 64;
+        const unsigned hb = robHead % 64;
+        for (size_t wi = 0; wi <= words && issued < cfg.width; ++wi) {
+            const size_t w = (hw + wi) % words;
+            uint64_t bits = readyBits_[w];
+            if (wi == 0)
+                bits &= ~uint64_t{0} << hb;
+            else if (wi == words)
+                bits = hb ? bits & (~uint64_t{0} >> (64 - hb)) : 0;
+            while (bits != 0 && issued < cfg.width) {
+                const uint32_t idx = static_cast<uint32_t>(
+                    w * 64 + std::countr_zero(bits));
+                bits &= bits - 1;
+                RobHot &e = robHot[idx];
+                ++wk.selectScans;
+
+                if (e.readyForSelect > cycle ||
+                    !srcSpecReady(e.src[0]) ||
+                    !srcSpecReady(e.src[1])) {
+                    scanDefer(idx);
+                    continue;
+                }
+                const unsigned k = fuIndex(e.cls);
+                if (fu[k] == 0)
+                    continue;
+                fu[k] -= 1;
+                ++issued;
+
+                readyRemove(idx);
+                e.inScheduler = false;
+                --schedCount_;
+                e.heldSlot = true;
+                ++schedHeld;
+                if (e.hasDst) {
+                    const unsigned pred_lat = isa::isLoad(e.cls)
+                        ? 1 + cfg.mem.dl1.latency
+                        : isa::execLatency(e.cls);
+                    specAvail(e.dstCls, e.dstPreg) =
+                        cycle + cfg.selectToExe + pred_lat;
+                    // Wake the dest's consumers. Predicted
+                    // readiness is at least one cycle out (every
+                    // latency >= 1), so near-wake parking may set a
+                    // ready bit mid-scan, but the parked entry's
+                    // predicate fails until its cycle arrives --
+                    // visiting or missing it this cycle issues
+                    // nothing either way.
+                    broadcastAvail(e.dstCls, e.dstPreg);
+                }
+                scheduleEvent(cycle + cfg.selectToExe,
+                              EventType::ExeStart, idx);
+                ++st.issuedInsts;
+            }
+        }
+        return;
+    }
+
+    wk.readyOccAccum += schedQueue.size();
     if (schedQueue.empty())
         return;
 
@@ -731,6 +1105,7 @@ OutOfOrderCore::selectStage()
         const uint32_t idx = *it;
         RobHot &e = robHot[idx];
         PRI_ASSERT(e.valid && e.inScheduler);
+        ++wk.selectScans;
 
         if (e.readyForSelect > cycle || !srcSpecReady(e.src[0]) ||
             !srcSpecReady(e.src[1])) {
@@ -746,6 +1121,7 @@ OutOfOrderCore::selectStage()
         ++issued;
 
         e.inScheduler = false;
+        --schedCount_;
         e.heldSlot = true;
         ++schedHeld;
         if (e.hasDst) {
@@ -782,7 +1158,7 @@ OutOfOrderCore::renameStage()
             ++st.stallRobFull;
             return;
         }
-        if (schedQueue.size() + schedHeld >= cfg.schedSize) {
+        if (schedCount_ + schedHeld >= cfg.schedSize) {
             ++st.stallSchedFull;
             return;
         }
@@ -895,7 +1271,20 @@ OutOfOrderCore::renameStage()
         }
 
         e.inScheduler = true;
-        schedQueue.push_back(idx);
+        ++schedCount_;
+        if (cfg.eventWakeup) {
+            // Thread each pointer source onto its producer's
+            // consumer list, then arm the entry's first wakeup: a
+            // timed one if every source has a predicted time, else
+            // the unscheduled producer's broadcast re-verifies.
+            for (unsigned i = 0; i < 2; ++i) {
+                if (e.src[i].valid && !e.src[i].imm)
+                    consLink(idx, i);
+            }
+            wakeVerify(idx);
+        } else {
+            schedQueue.push_back(idx);
+        }
         unretiredBits[idx / 64] |= uint64_t{1} << (idx % 64);
         robTail = (robTail + 1) % cfg.robSize;
         ++robCount;
@@ -1024,24 +1413,98 @@ OutOfOrderCore::checkInvariants() const
 {
     rn.checkInvariants();
     PRI_ASSERT(robCount <= cfg.robSize);
-    PRI_ASSERT(schedQueue.size() + schedHeld <= cfg.schedSize);
+    PRI_ASSERT(schedCount_ + schedHeld <= cfg.schedSize);
     PRI_ASSERT(fetchCount <= fetchBuf.size());
-    unsigned valid = 0;
-    for (const auto &e : robHot)
+    unsigned valid = 0, waiting = 0;
+    for (const auto &e : robHot) {
         valid += e.valid ? 1 : 0;
+        waiting += (e.valid && e.inScheduler) ? 1 : 0;
+    }
     PRI_ASSERT(valid == robCount, "ROB count mismatch");
+    PRI_ASSERT(waiting == schedCount_, "scheduler count mismatch");
     for (uint32_t i = 0; i < cfg.robSize; ++i) {
         const bool bit =
             (unretiredBits[i / 64] >> (i % 64)) & 1;
         const bool expect = robHot[i].valid && !robCold[i].retired;
         PRI_ASSERT(bit == expect, "unretired bitmap out of sync");
     }
-    PRI_ASSERT(std::is_sorted(schedQueue.begin(), schedQueue.end(),
-                              [this](uint32_t a, uint32_t b) {
-                                  return robHot[a].seq <
-                                      robHot[b].seq;
-                              }),
-               "scheduler queue lost seq order");
+    if (cfg.eventWakeup) {
+        // Ready bitmap: bits, flags, and count in sync. (Seq order
+        // is structural -- the select scan walks the ROB ring from
+        // robHead -- so there is no ordering to audit.)
+        unsigned nready = 0;
+        for (uint32_t i = 0; i < cfg.robSize; ++i) {
+            const bool bit =
+                (readyBits_[i / 64] >> (i % 64)) & 1;
+            const RobHot &e = robHot[i];
+            PRI_ASSERT(bit == e.inReadyList,
+                       "ready bitmap out of sync");
+            if (bit) {
+                PRI_ASSERT(e.valid && e.inScheduler,
+                           "dead entry in the ready bitmap");
+                ++nready;
+            }
+        }
+        PRI_ASSERT(nready == readyCount_, "ready count mismatch");
+        // Consumer lists: the linked nodes are exactly the live
+        // pointer reads (valid && !imm && refHeld) of live entries,
+        // each on the list of the register it names.
+        unsigned linked = 0;
+        for (unsigned cls = 0; cls < 2; ++cls) {
+            for (size_t p = 0; p < consHead_[cls].size(); ++p) {
+                for (int32_t n = consHead_[cls][p]; n != -1;
+                     n = cons_[n].next) {
+                    const uint32_t idx =
+                        static_cast<uint32_t>(n) >> 1;
+                    const auto &s = robHot[idx].src[n & 1];
+                    PRI_ASSERT(
+                        robHot[idx].valid && s.valid && !s.imm &&
+                            s.refHeld &&
+                            static_cast<unsigned>(s.cls) == cls &&
+                            s.preg == p,
+                        "consumer list out of sync");
+                    ++linked;
+                }
+            }
+        }
+        unsigned held = 0;
+        for (const auto &e : robHot) {
+            if (!e.valid)
+                continue;
+            for (const auto &s : e.src)
+                held += (s.valid && !s.imm && s.refHeld) ? 1 : 0;
+        }
+        PRI_ASSERT(linked == held, "consumer membership leak");
+        // Wake buckets: each pending wakeup bucketed exactly once,
+        // only for waiting, not-yet-ready entries.
+        unsigned bucketed = 0;
+        for (unsigned b = 0; b < kWheelSize; ++b) {
+            for (int32_t n = wakeBucketHead_[b]; n != -1;
+                 n = wake_[n].next) {
+                PRI_ASSERT(wake_[n].at != kNever &&
+                               wake_[n].at % kWheelSize == b,
+                           "wakeup in the wrong bucket");
+                PRI_ASSERT(robHot[n].inScheduler &&
+                               !robHot[n].inReadyList,
+                           "wakeup for a non-waiting entry");
+                ++bucketed;
+            }
+        }
+        unsigned pending = 0;
+        for (uint32_t i = 0; i < cfg.robSize; ++i)
+            pending += wake_[i].at != kNever ? 1 : 0;
+        PRI_ASSERT(bucketed == pending, "wake bucket leak");
+    } else {
+        PRI_ASSERT(schedQueue.size() == schedCount_,
+                   "polling queue count mismatch");
+        PRI_ASSERT(
+            std::is_sorted(schedQueue.begin(), schedQueue.end(),
+                           [this](uint32_t a, uint32_t b) {
+                               return robHot[a].seq <
+                                   robHot[b].seq;
+                           }),
+            "scheduler queue lost seq order");
+    }
     if (cfg.pooledCheckpoints) {
         // Every live pool slot is owned by exactly one in-flight
         // reference (fetch ring or ROB).

@@ -59,8 +59,27 @@ struct RobHot
     bool valid = false;
     bool inScheduler = false;
     bool heldSlot = false; ///< selected; still holds a sched slot
+    bool inReadyList = false; ///< linked into the event ready list
     bool hasDst = false;
     bool isBranch = false;
+};
+
+/**
+ * Simulator-side wakeup/select instrumentation, kept as plain
+ * counters *outside* the StatGroup on purpose: the full stats report
+ * must stay byte-identical between the event-driven and legacy
+ * polling paths (the determinism tests compare it verbatim), so
+ * anything that differs by construction between the two wakeup
+ * implementations lives here and is read only by the benches.
+ */
+struct WakeupTelemetry
+{
+    uint64_t broadcasts = 0;     ///< availability broadcasts walked
+    uint64_t consumersWoken = 0; ///< consumers examined by broadcasts
+    uint64_t wakeupsDrained = 0; ///< timed wakeups verified
+    uint64_t readyInserts = 0;   ///< ready-list insertions
+    uint64_t selectScans = 0;    ///< entries examined by select
+    uint64_t readyOccAccum = 0;  ///< per-cycle select-pool occupancy
 };
 
 /**
@@ -222,6 +241,9 @@ class OutOfOrderCore
      *  The observer must outlive the core or be cleared first. */
     void setCommitObserver(CommitObserver *obs) { observer = obs; }
 
+    /** Wakeup/select instrumentation (bench-only; see the type). */
+    const WakeupTelemetry &wakeupTelemetry() const { return wk; }
+
   private:
     enum class EventType : uint8_t
     {
@@ -262,6 +284,47 @@ class OutOfOrderCore
 
     void scheduleEvent(uint64_t when, EventType type, uint32_t idx);
     void replayInst(uint32_t idx);
+
+    // --- event-driven wakeup (cfg.eventWakeup) ---
+    /** Ready-list head for (cls, preg)'s consumer list. */
+    int32_t &consHeadRef(isa::RegClass cls, isa::PhysRegId p);
+    /** Link source slot @p s of entry @p idx onto its producer's
+     *  consumer list (rename time). */
+    void consLink(uint32_t idx, unsigned s);
+    /** Unlink source slot @p s (completion / squash / inline). */
+    void consUnlink(uint32_t idx, unsigned s);
+    /** Insert into the seq-sorted ready list (drops any pending
+     *  timed wakeup). */
+    void readyInsert(uint32_t idx);
+    /** Remove from the ready list (issue / squash). */
+    void readyRemove(uint32_t idx);
+    /** Predicted earliest select cycle for @p idx from current
+     *  specAvail; false when a source's producer is unscheduled
+     *  (its broadcast re-verifies). */
+    bool predictReadyCycle(uint32_t idx, uint64_t &when) const;
+    /** Re-arm a parked entry that failed select's readiness
+     *  recheck (prediction regressed while parked). */
+    void scanDefer(uint32_t idx);
+    /** Schedule (or pull earlier) a timed wakeup for @p idx. */
+    void scheduleWake(uint32_t idx, uint64_t when);
+    /** Unlink a pending timed wakeup without verifying it. */
+    void wakeUnlink(uint32_t idx);
+    /** Drain this cycle's wake bucket, verifying each entry. */
+    void drainWakeups();
+    /**
+     * Recompute readiness of a waiting scheduler entry: insert into
+     * the ready list if every source is spec-ready now, schedule a
+     * timed wakeup if every source has a finite predicted time, or
+     * leave it to its unscheduled producer's broadcast otherwise.
+     */
+    void wakeVerify(uint32_t idx);
+    /** Walk (cls, preg)'s consumer list, re-verifying every waiting
+     *  consumer after its predicted availability changed. */
+    void broadcastAvail(isa::RegClass cls, isa::PhysRegId preg);
+    /** O(consumers) ideal-PRI payload rewrite via the consumer
+     *  list (paper §3.3's payload-CAM search-and-update). */
+    void idealInlineRewrite(isa::RegClass cls, isa::PhysRegId preg,
+                            uint64_t value);
 
     /** Release a pooled checkpoint and trim the undo journals to
      *  the oldest checkpoint still live. */
@@ -321,8 +384,52 @@ class OutOfOrderCore
     // Scheduler: indices of ROB entries waiting to issue, plus a
     // count of slots held by selected-but-incomplete instructions
     // (selective recovery keeps them allocated until completion).
+    // schedQueue is the legacy polling structure (eventWakeup off);
+    // schedCount_ tracks waiting-entry occupancy in both modes.
     std::vector<uint32_t> schedQueue;
     unsigned schedHeld = 0;
+    unsigned schedCount_ = 0;
+
+    // Event-driven wakeup state (cfg.eventWakeup; all fixed-size,
+    // allocated once in the constructor).
+    //
+    // Consumer lists: one intrusive doubly-linked list per
+    // (class, preg), holding every in-flight source operand renamed
+    // to that register. Node id = robIdx * 2 + srcSlot; a node is
+    // linked exactly while its SrcRead is a live pointer read
+    // (valid && !imm && refHeld), i.e. the same set the legacy
+    // ideal-inline ROB walk would rewrite.
+    std::array<std::vector<int32_t>, 2> consHead_;
+    struct ConsLinks
+    {
+        int32_t next = -1;
+        int32_t prev = -1;
+    };
+    std::vector<ConsLinks> cons_; ///< one pair per source node
+
+    // Ready set: one bit per ROB slot; a *superset* of the
+    // poll-ready entries (lazy: entries whose predicted readiness
+    // regressed stay set and are skipped by select's exact polling
+    // recheck). Age order is free — iterating the ring from robHead
+    // visits slots in rename (seq) order — so insert/remove are
+    // single bit flips instead of sorted-list surgery.
+    std::vector<uint64_t> readyBits_;
+    unsigned readyCount_ = 0;
+
+    // Timed wakeups: a bucket ring keyed by cycle (same horizon as
+    // the event wheel), intrusively linked so each entry has at most
+    // one pending wakeup. Deliberately separate from the event wheel
+    // so wake traffic cannot perturb core.scratchGrowths.
+    std::vector<int32_t> wakeBucketHead_;
+    struct WakeLinks
+    {
+        int32_t next = -1;
+        int32_t prev = -1;
+        uint64_t at = kNever; ///< kNever = no pending wakeup
+    };
+    std::vector<WakeLinks> wake_; ///< one record per ROB slot
+
+    WakeupTelemetry wk;
 
     // Fetch queue between fetch and rename: a fixed ring of
     // cfg.fetchQueueSize() slots whose storage (including the legacy
@@ -369,6 +476,15 @@ class OutOfOrderCore
     // Event wheel.
     static constexpr unsigned kWheelSize = 1024;
     std::array<std::vector<Event>, kWheelSize> wheel;
+
+    /**
+     * Wakeups predicted at most this many cycles out skip the wake
+     * wheel and park in the ready list immediately; select's
+     * predicate skips them until the cycle arrives. One lazy scan
+     * per cycle costs less than a wheel link/unlink pair, so the
+     * wheel is reserved for far wakeups (load misses, long FP).
+     */
+    static constexpr uint64_t kNearWake = 8;
 
     // Per-cycle scratch, hoisted out of the cycle loop so steady
     // state allocates nothing (cfg.hoistScratch). The buffers trade

@@ -319,23 +319,48 @@ RenameUnit::createCheckpoint()
         c.resolved = false;
         if (useCkptRefs())
             takeCkptRefs(c, +1);
-        ckpts.insert(std::move(node));
+        const auto res = ckpts.insert(std::move(node));
+        ckptSeq_.emplace_back(id, &res.position->second);
     } else {
         Checkpoint c;
         c.intMap = intState.map.copy();
         c.fpMap = fpState.map.copy();
         if (useCkptRefs())
             takeCkptRefs(c, +1);
-        ckpts.emplace(id, std::move(c));
+        const auto it = ckpts.emplace(id, std::move(c)).first;
+        ckptSeq_.emplace_back(id, &it->second);
     }
     ++stats.checkpointsCreated;
     return id;
 }
 
 void
+RenameUnit::reserveCheckpointNodes(unsigned n)
+{
+    PRI_ASSERT(ckpts.empty(),
+               "reserve before any checkpoints exist");
+    ckptSeq_.reserve(n);
+    while (ckptNodePool.size() < n) {
+        // Temporary keys only: reused nodes get their key
+        // rewritten in createCheckpoint, so ids stay untouched.
+        const CkptId key =
+            static_cast<CkptId>(ckptNodePool.size());
+        ckptNodePool.push_back(
+            ckpts.extract(ckpts.emplace(key, Checkpoint{}).first));
+    }
+}
+
+void
 RenameUnit::recycleCkptNode(
     std::map<CkptId, Checkpoint>::iterator it)
 {
+    const CkptId id = it->first;
+    const auto seq = std::lower_bound(
+        ckptSeq_.begin(), ckptSeq_.end(), id,
+        [](const auto &e, CkptId v) { return e.first < v; });
+    PRI_ASSERT(seq != ckptSeq_.end() && seq->first == id,
+               "checkpoint missing from the id-ordered mirror");
+    ckptSeq_.erase(seq);
     ckptNodePool.push_back(ckpts.extract(it));
 }
 
@@ -531,7 +556,8 @@ RenameUnit::writeback(isa::RegId dst, isa::PhysRegId preg,
         // Lazy scheme: walk every checkpointed copy and apply the
         // same check-and-update (Figure 7 "More checkpoints?" loop).
         if (cfg.lazyCkptUpdate) {
-            for (auto &[id, c] : ckpts) {
+            for (auto &[id, cp] : ckptSeq_) {
+                Checkpoint &c = *cp;
                 auto &snap = dst.cls == isa::RegClass::Int
                     ? c.intMap : c.fpMap;
                 MapEntry &e = snap[dst.idx];

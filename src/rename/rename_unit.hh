@@ -223,6 +223,15 @@ class RenameUnit
     CkptId createCheckpoint();
 
     /**
+     * Pre-fill the checkpoint node pool so createCheckpoint never
+     * allocates, even the first time the in-flight branch count
+     * reaches a new high-water mark. Call once, before renaming
+     * starts, with an upper bound on simultaneously live
+     * checkpoints (the core passes its checkpoint-pool capacity).
+     */
+    void reserveCheckpointNodes(unsigned n);
+
+    /**
      * Branch resolved (correctly or not): the shadow map can no
      * longer be restored, so PRI's checkpoint reference counters
      * (kept per Akkary-style checkpoint retirement) are dropped.
@@ -396,6 +405,16 @@ class RenameUnit
      * std::map's ordered iteration and lookups untouched.
      */
     std::vector<std::map<CkptId, Checkpoint>::node_type> ckptNodePool;
+    /**
+     * Live checkpoints in id (age) order, as stable pointers into
+     * the map's nodes. The lazy-update walk in writeback visits
+     * every live checkpoint once per narrow result, which makes
+     * tree iteration the hot loop; this flat mirror turns it into
+     * a cache-friendly array scan. Maintained by createCheckpoint
+     * and recycleCkptNode; ids are monotone, so creation appends
+     * in sorted order.
+     */
+    std::vector<std::pair<CkptId, Checkpoint *>> ckptSeq_;
     CkptId nextCkptId = 1;
     IdealInlineHook idealHook;
     uint64_t now = 0;

@@ -77,6 +77,9 @@ simulate(const RunParams &params)
     cfg.pooledCheckpoints = params.pooledCheckpoints;
     if (std::getenv("PRI_LEGACY_CKPTS") != nullptr)
         cfg.pooledCheckpoints = false;
+    cfg.eventWakeup = params.eventWakeup;
+    if (std::getenv("PRI_LEGACY_WAKEUP") != nullptr)
+        cfg.eventWakeup = false;
     if (params.schedSizeOverride)
         cfg.schedSize = params.schedSizeOverride;
     cfg.injectFault = params.injectFault;

@@ -94,6 +94,15 @@ struct RunParams
      * for whole-binary spot checks.
      */
     bool pooledCheckpoints = true;
+    /**
+     * Wake scheduler entries through per-preg consumer lists and a
+     * seq-ordered ready list (default) rather than the legacy
+     * re-poll-everything select loop. Timing-identical; exists so
+     * harnesses can A/B the simulator-speed change. The
+     * PRI_LEGACY_WAKEUP environment variable forces the legacy path
+     * for whole-binary spot checks.
+     */
+    bool eventWakeup = true;
 };
 
 /** Headline metrics of one run. */

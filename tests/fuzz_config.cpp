@@ -72,6 +72,7 @@ drawPoint(uint64_t seed, uint64_t index)
         kNarrowBits[pick(6, std::size(kNarrowBits))];
     p.pooledCheckpoints = pick(7, 2) != 0;
     p.seed = hashCombine(seed, index, 8);
+    p.eventWakeup = pick(9, 2) != 0;
     p.warmupInsts = 2000;
     p.measureInsts = 8000;
     p.checkInvariants = true;
@@ -93,7 +94,8 @@ TEST(ConfigFuzz, RandomConfigsStayGoldenClean)
                      std::to_string(p.schedSizeOverride) +
                      " narrow " +
                      std::to_string(p.narrowBitsOverride) +
-                     (p.pooledCheckpoints ? " pooled" : " legacy"));
+                     (p.pooledCheckpoints ? " pooled" : " legacy") +
+                     (p.eventWakeup ? " event" : " poll"));
         const auto r = sim::simulate(p);
         EXPECT_EQ(r.goldenChecked, r.committedTotal);
         EXPECT_GE(r.goldenChecked,

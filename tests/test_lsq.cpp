@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/hashing.hh"
 #include "core/lsq.hh"
 
 namespace pri::core
@@ -72,6 +75,68 @@ TEST(Lsq, SquashDropsYoungerOnly)
     // Tail reuse after squash works.
     lsq.insert(6, 0x40, true);
     EXPECT_TRUE(lsq.forwardHit(100, 0x40));
+}
+
+/**
+ * Property test: the word-hash forwarding index must agree with the
+ * legacy linear scan under randomized insert / commit / squash
+ * sequences that wrap the ring many times. All randomness is
+ * counter-based (pure function of seed and step), so a failure
+ * reproduces exactly.
+ */
+TEST(Lsq, IndexMatchesLinearScanUnderRandomOps)
+{
+    constexpr uint64_t kSeed = 0xc0ffee;
+    constexpr unsigned kSize = 8; // small: frequent wraparound
+    constexpr unsigned kSteps = 4000;
+    // Few distinct words so chains collide and go multi-entry.
+    constexpr uint64_t kWords[] = {0x1000, 0x1008, 0x1010, 0x2000};
+
+    Lsq lsq(kSize);
+    std::vector<uint64_t> live_seqs; // queue order, oldest first
+    uint64_t next_seq = 1;           // monotone, never rolled back
+
+    for (unsigned step = 0; step < kSteps; ++step) {
+        const auto pick = [&](uint64_t salt, uint64_t bound) {
+            return hashCombine(kSeed, step, salt) % bound;
+        };
+        const unsigned op = static_cast<unsigned>(pick(1, 4));
+        SCOPED_TRACE(testing::Message()
+                     << "step " << step << " op " << op);
+
+        if (op <= 1 && !lsq.full()) {
+            // Insert (biased: half the op space) a load or store at
+            // a random byte of a random word.
+            const uint64_t addr = kWords[pick(2, std::size(kWords))]
+                + pick(3, 8);
+            lsq.insert(next_seq, addr, pick(4, 2) != 0);
+            live_seqs.push_back(next_seq++);
+        } else if (op == 2 && !live_seqs.empty()) {
+            lsq.commitHead(live_seqs.front());
+            live_seqs.erase(live_seqs.begin());
+        } else if (op == 3 && !live_seqs.empty()) {
+            // Squash at a random surviving entry (or everything).
+            const uint64_t cut = pick(5, live_seqs.size() + 1) == 0
+                ? live_seqs.front() - 1
+                : live_seqs[pick(6, live_seqs.size())];
+            lsq.squashYounger(cut);
+            while (!live_seqs.empty() && live_seqs.back() > cut)
+                live_seqs.pop_back();
+        }
+
+        // Cross-check the index against the linear scan for every
+        // word at several load ages, including older- and
+        // younger-than-everything probes.
+        for (const uint64_t word : kWords) {
+            for (const uint64_t load_seq :
+                 {uint64_t{0}, next_seq / 2, next_seq}) {
+                ASSERT_EQ(lsq.forwardHit(load_seq, word),
+                          lsq.forwardHitLinear(load_seq, word))
+                    << "word " << std::hex << word << std::dec
+                    << " load_seq " << load_seq;
+            }
+        }
+    }
 }
 
 TEST(Lsq, WrapAroundKeepsOrder)
