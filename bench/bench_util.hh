@@ -29,10 +29,13 @@
 #include <cstring>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/logging.hh"
+#include "sim/journal.hh"
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/profile.hh"
@@ -64,18 +67,49 @@ parseBudget(int argc, char **argv)
     return b;
 }
 
-/** Common harness options: budgets, worker count, JSON sink. */
+/** Common harness options: budgets, worker count, JSON sink,
+ *  crash-resilience knobs. */
 struct Options
 {
     Budget budget;
     unsigned jobs = 0;     ///< worker threads; 0 = hardware_concurrency
     std::string jsonPath;  ///< --json FILE: machine-readable results
+    std::string journalPath; ///< --journal FILE: resumable sweeps
+    uint64_t timeoutMs = 0;  ///< --timeout-ms N: per-run wall budget
+    unsigned retries = 0;    ///< --retries N: re-attempts per point
+    unsigned backoffMs = 0;  ///< --backoff-ms N: sleep between tries
 };
 
-/** Parse --quick / --full / --jobs N / --json FILE from argv. */
+namespace detail
+{
+
+/** Process-wide resilience state the option parser arms and the
+ *  prefetcher / runOne() consume: retry policy, per-run wall-clock
+ *  budget, and (when --journal is given) the shared sweep journal. */
+struct Resilience
+{
+    sim::RetryPolicy retry;
+    uint64_t timeoutMs = 0;
+    std::unique_ptr<sim::SweepJournal> journal;
+};
+
+inline Resilience &
+resilience()
+{
+    static Resilience r;
+    return r;
+}
+
+} // namespace detail
+
+/** Parse --quick / --full / --jobs N / --json FILE / --journal FILE
+ *  / --timeout-ms N / --retries N / --backoff-ms N from argv. Also
+ *  installs the fatal-signal handlers so a crashed harness leaves a
+ *  flight-recorder dump naming the run it died in. */
 inline Options
 parseOptions(int argc, char **argv)
 {
+    installCrashHandlers();
     Options o;
     o.budget = parseBudget(argc, argv);
     for (int i = 1; i < argc; ++i) {
@@ -84,7 +118,27 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             o.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--journal") == 0 &&
+                   i + 1 < argc) {
+            o.journalPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            o.timeoutMs =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--retries") == 0 &&
+                   i + 1 < argc) {
+            o.retries = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--backoff-ms") == 0 &&
+                   i + 1 < argc) {
+            o.backoffMs = static_cast<unsigned>(std::atoi(argv[++i]));
         }
+    }
+    auto &rz = detail::resilience();
+    rz.retry = sim::RetryPolicy{o.retries + 1, o.backoffMs};
+    rz.timeoutMs = o.timeoutMs;
+    if (!o.journalPath.empty() && rz.journal == nullptr) {
+        rz.journal =
+            std::make_unique<sim::SweepJournal>(o.journalPath);
     }
     return o;
 }
@@ -144,7 +198,21 @@ paramsFor(const Point &pt, const Budget &budget, uint64_t seed)
     p.warmupInsts = budget.warmup;
     p.measureInsts = budget.measure;
     p.seed = seed;
+    // Wall-clock budget is machine-dependent and excluded from
+    // paramsHash, so it never perturbs journal keys or results.
+    p.timeoutMs = resilience().timeoutMs;
     return p;
+}
+
+/** Thread-pool runner armed with the harness retry policy and
+ *  (when --journal was given) the shared sweep journal. */
+inline sim::SimulationRunner
+makeRunner(unsigned jobs)
+{
+    sim::SimulationRunner runner(jobs);
+    runner.setRetryPolicy(resilience().retry);
+    runner.setJournal(resilience().journal.get());
+    return runner;
 }
 
 /** Average per-seed results exactly as the serial harnesses always
@@ -227,7 +295,7 @@ prefetchPoints(const std::vector<Point> &points, const Options &opts)
     if (batch.empty())
         return;
 
-    const auto results = sim::SimulationRunner(opts.jobs).run(batch);
+    const auto results = detail::makeRunner(opts.jobs).run(batch);
 
     constexpr size_t n_seeds = std::size(kSeeds);
     for (size_t i = 0; i < todo.size(); ++i) {
@@ -267,11 +335,15 @@ runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
         it != detail::resultCache().end()) {
         return it->second;
     }
-    std::vector<sim::RunResult> per_seed;
-    per_seed.reserve(std::size(kSeeds));
+    std::vector<sim::RunParams> batch;
+    batch.reserve(std::size(kSeeds));
     for (uint64_t seed : kSeeds)
-        per_seed.push_back(
-            sim::simulate(detail::paramsFor(pt, budget, seed)));
+        batch.push_back(detail::paramsFor(pt, budget, seed));
+    // Through the (single-worker) runner rather than bare
+    // simulate(): cache misses in the printing code get the same
+    // journal hits, retries, and indexed error prefixes as
+    // prefetched points.
+    const auto per_seed = detail::makeRunner(1).run(batch);
     return detail::cacheInsert(
         key, detail::averageResults(per_seed));
 }

@@ -1,5 +1,11 @@
 #include "logging.hh"
 
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/flight_recorder.hh"
+
 namespace pri
 {
 namespace detail
@@ -19,6 +25,13 @@ levelName(LogLevel level)
     }
     return "?";
 }
+
+/** This thread's panics/fatals throw instead of terminating. */
+thread_local bool captureErrors = false;
+
+/** Set once this thread has already dumped its flight recorder on
+ *  the way down, so the SIGABRT crash handler does not dump twice. */
+thread_local bool flightDumped = false;
 
 } // namespace
 
@@ -40,16 +53,100 @@ logMessage(LogLevel level, std::string_view msg,
 void
 panicStr(const std::string &msg, const std::source_location &loc)
 {
-    logMessage(LogLevel::Panic, msg, loc);
+    // Panics are simulator bugs: attach the last-events trace so a
+    // one-off failure deep inside a sweep is diagnosable post-hoc.
+    std::string full = msg;
+    const FlightRecorder &fr = flightRecorder();
+    if (!fr.empty()) {
+        full += "\n";
+        full += fr.dump();
+    }
+    if (captureErrors) {
+        throw PanicError(fmtStr("panic: {} ({}:{})", full,
+                                loc.file_name(), loc.line()));
+    }
+    flightDumped = true;
+    logMessage(LogLevel::Panic, full, loc);
     std::abort();
 }
 
 void
 fatalStr(const std::string &msg, const std::source_location &loc)
 {
+    if (captureErrors) {
+        throw FatalError(msg);
+    }
     logMessage(LogLevel::Fatal, msg, loc);
     std::exit(1);
 }
 
 } // namespace detail
+
+ScopedErrorCapture::ScopedErrorCapture() : prev(detail::captureErrors)
+{
+    detail::captureErrors = true;
+}
+
+ScopedErrorCapture::~ScopedErrorCapture()
+{
+    detail::captureErrors = prev;
+}
+
+bool
+ScopedErrorCapture::active()
+{
+    return detail::captureErrors;
+}
+
+namespace
+{
+
+void
+crashHandler(int sig)
+{
+    // Restore default disposition first so anything going wrong
+    // below (or the re-raise) terminates rather than recursing.
+    std::signal(sig, SIG_DFL);
+
+    char head[64];
+    const char *name = sig == SIGSEGV ? "SIGSEGV"
+        : sig == SIGABRT             ? "SIGABRT"
+        : sig == SIGBUS              ? "SIGBUS"
+        : sig == SIGFPE              ? "SIGFPE"
+        : sig == SIGILL              ? "SIGILL"
+                                     : "signal";
+    const size_t n = std::strlen(name);
+    std::memcpy(head, "\nfatal signal ", 14);
+    std::memcpy(head + 14, name, n);
+    head[14 + n] = '\n';
+    [[maybe_unused]] ssize_t rc = write(2, head, 15 + n);
+
+    // A panic that just abort()ed already printed the trace as part
+    // of its message; only signals arriving out of the blue (real
+    // crashes) dump here.
+    if (!detail::flightDumped)
+        flightRecorder().dumpTo(2);
+
+    raise(sig);
+}
+
+} // namespace
+
+void
+installCrashHandlers()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = crashHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_NODEFER;
+        sigaction(sig, &sa, nullptr);
+    }
+}
+
 } // namespace pri

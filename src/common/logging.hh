@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <source_location>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -21,6 +22,59 @@
 
 namespace pri
 {
+
+/**
+ * Exception thrown in place of std::abort() when a panic (simulator
+ * bug, failed PRI_ASSERT, golden divergence) fires inside a
+ * ScopedErrorCapture region. The message already carries the
+ * source location and the flight-recorder trace.
+ */
+class PanicError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Exception thrown in place of std::exit(1) when fatal() (bad user
+ * input / configuration) fires inside a ScopedErrorCapture region.
+ */
+class FatalError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While alive on a thread, panic() and fatal() on that thread throw
+ * PanicError / FatalError instead of terminating the process. The
+ * sweep runner wraps each worker's simulate() call in one of these
+ * so a single wedged or buggy simulation point is captured as a
+ * per-run error while sibling workers keep draining the batch.
+ * Nestable; strictly thread-local (other threads are unaffected).
+ */
+class ScopedErrorCapture
+{
+  public:
+    ScopedErrorCapture();
+    ~ScopedErrorCapture();
+
+    ScopedErrorCapture(const ScopedErrorCapture &) = delete;
+    ScopedErrorCapture &operator=(const ScopedErrorCapture &) = delete;
+
+    /** Is a capture region active on this thread? */
+    static bool active();
+
+  private:
+    bool prev;
+};
+
+/**
+ * Install process-wide handlers for fatal signals (SIGSEGV, SIGABRT,
+ * SIGBUS, SIGFPE, SIGILL) that dump the faulting thread's flight
+ * recorder and run context to stderr before re-raising with default
+ * disposition. Idempotent; called by the CLI drivers and the bench
+ * harnesses so any simulator crash leaves forensics behind.
+ */
+void installCrashHandlers();
 
 /** Severity used by the message sinks. */
 enum class LogLevel

@@ -43,7 +43,21 @@ enum class InjectedFault : uint8_t
      * path. Again self-consistent, hence silent without a reference.
      */
     CommitWrongPath,
+    /**
+     * The select stage stops issuing once kWedgeAfterCommits
+     * instructions have committed: everything in flight drains, then
+     * the machine sits with frozen ROB/scheduler/free-list occupancy
+     * and never commits again. Models a wedged-scheduler livelock;
+     * exists to prove the forward-progress watchdog detects the
+     * stall, dumps the flight recorder, and reports it per-run
+     * instead of spinning the whole sweep forever.
+     */
+    WedgeScheduler,
 };
+
+/** Commit count at which WedgeScheduler freezes the select stage
+ *  (early enough to wedge during any run's warmup). */
+constexpr uint64_t kWedgeAfterCommits = 5000;
 
 /** Full machine configuration for one simulation. */
 struct CoreConfig
@@ -119,6 +133,50 @@ struct CoreConfig
 
     /** Planted bug for diff-checker validation; see InjectedFault. */
     InjectedFault injectFault = InjectedFault::None;
+
+    /**
+     * Forward-progress watchdog. When enabled, the cycle loop raises
+     * a structured core::ProgressStallError — carrying occupancy
+     * state and the flight-recorder trace — instead of spinning
+     * forever on a wedged machine. Two detectors:
+     *
+     *  - commit stall: no instruction has committed for
+     *    watchdogCycles cycles (replaces the old hard-coded 500k
+     *    panic). The threshold must sit far above the longest legal
+     *    commit gap (an L2-miss burst is a few hundred cycles; a
+     *    full-ROB drain behind one is a few thousand), so the
+     *    default never trips on real configurations.
+     *
+     *  - frozen occupancy (livelock): across watchdogAuditWindows
+     *    consecutive audit windows (watchdogCycles / 8 cycles each),
+     *    *nothing* moved — no commit, fetch, issue, or replay, and
+     *    ROB / scheduler / fetch-queue / free-list occupancy all
+     *    identical. A hard wedge is caught in half the commit-stall
+     *    threshold; anything still executing (even uselessly) does
+     *    not match and falls through to the commit-stall detector.
+     *
+     * Detection is pure observation: enabling the watchdog changes
+     * no simulation outcome, so reports stay byte-identical.
+     */
+    bool watchdogEnabled = true;
+    uint64_t watchdogCycles = 500000;
+    unsigned watchdogAuditWindows = 4;
+
+    /**
+     * Hard per-run cycle budget (0 = unlimited): exceeding it raises
+     * ProgressStallError. Sweep drivers and the config fuzzer set
+     * this so a hang inside one point is a reported per-point
+     * failure rather than a CI timeout.
+     */
+    uint64_t cycleBudget = 0;
+
+    /** Cycles between livelock-audit snapshots. */
+    uint64_t
+    watchdogAuditWindow() const
+    {
+        const uint64_t w = watchdogCycles / 8;
+        return w < 1024 ? 1024 : w;
+    }
 
     /** Effective checkpoint-pool capacity. */
     unsigned

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/strfmt.hh"
 #include "isa/op_class.hh"
 
 namespace pri::core
@@ -43,8 +44,9 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
       walker(program), rn(config.rename, stats), mem(config.mem),
       lsq(config.lsqSize), robHot(config.robSize),
       robCold(config.robSize), fetchBuf(config.fetchQueueSize()),
-      ckptPool(config.ckptPoolSize())
+      ckptPool(config.ckptPoolSize()), flight(&flightRecorder())
 {
+    wdNextAudit = cfg.watchdogAuditWindow();
     for (auto cls : {0, 1}) {
         specAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
         actualAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
@@ -420,13 +422,120 @@ OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
         selectStage();
         renameStage();
         fetchStage();
-        if (cycle - lastCommitCycle > 500000) {
-            panic("no commit in 500k cycles at cycle {} "
-                  "(rob {}, sched {}+{}, fetchq {})",
-                  cycle, robCount, schedCount_, schedHeld,
-                  fetchCount);
+        if (cfg.watchdogEnabled || cfg.cycleBudget != 0 ||
+            wdHasDeadline) {
+            watchdogCheck();
         }
         ++cycle;
+    }
+}
+
+const char *
+ProgressStall::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::CommitStall: return "commit-stall";
+      case Kind::Livelock:    return "livelock";
+      case Kind::CycleBudget: return "cycle-budget";
+      case Kind::WallClock:   return "wall-clock";
+    }
+    return "?";
+}
+
+std::string
+ProgressStall::describe() const
+{
+    return fmtStr("{} at cycle {}: last commit at cycle {}, {} "
+                  "committed; rob {}, sched {}+{}, fetchq {}, "
+                  "prf INT {} FP {}",
+                  kindName(kind), cycle, lastCommitCycle, committed,
+                  robCount, schedCount, schedHeld, fetchCount,
+                  occInt, occFp);
+}
+
+void
+OutOfOrderCore::setWallClockBudget(uint64_t timeout_ms)
+{
+    wdHasDeadline = timeout_ms != 0;
+    if (wdHasDeadline) {
+        wdDeadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+    }
+}
+
+void
+OutOfOrderCore::raiseStall(ProgressStall::Kind kind)
+{
+    ProgressStall s;
+    s.kind = kind;
+    s.cycle = cycle;
+    s.lastCommitCycle = lastCommitCycle;
+    s.committed = nCommitted;
+    s.robCount = robCount;
+    s.schedCount = schedCount_;
+    s.schedHeld = schedHeld;
+    s.fetchCount = fetchCount;
+    s.occInt = rn.occupancy(isa::RegClass::Int);
+    s.occFp = rn.occupancy(isa::RegClass::Fp);
+    std::string msg = "forward-progress watchdog: " + s.describe();
+    const char *ctx = flight->context();
+    if (ctx[0] != '\0') {
+        msg += "\nrun: ";
+        msg += ctx;
+    }
+    msg += "\n";
+    msg += flight->dump();
+    throw ProgressStallError(s, std::move(msg));
+}
+
+void
+OutOfOrderCore::watchdogCheck()
+{
+    if (cfg.cycleBudget != 0 && cycle >= cfg.cycleBudget)
+        raiseStall(ProgressStall::Kind::CycleBudget);
+
+    // Wall clock polls on a coarse stride: one steady_clock read per
+    // ~4k cycles is invisible in the profile but bounds overshoot to
+    // a few milliseconds of simulation.
+    if (wdHasDeadline && (cycle & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() > wdDeadline) {
+        raiseStall(ProgressStall::Kind::WallClock);
+    }
+
+    if (!cfg.watchdogEnabled)
+        return;
+
+    if (cycle - lastCommitCycle > cfg.watchdogCycles)
+        raiseStall(ProgressStall::Kind::CommitStall);
+
+    // Livelock audit: sample an activity signature once per window.
+    // Any motion at all — a commit, fetch, issue, replay, squash, or
+    // an occupancy change anywhere — resets the frozen-window count,
+    // so long-latency bursts (which keep fetching and issuing, or at
+    // minimum change occupancy as the miss returns) never match;
+    // only a hard wedge holds the signature bit-for-bit still.
+    if (cycle >= wdNextAudit) {
+        wdNextAudit = cycle + cfg.watchdogAuditWindow();
+        const std::array<uint64_t, 10> sig = {
+            nCommitted,
+            static_cast<uint64_t>(st.fetchedInsts.value()),
+            static_cast<uint64_t>(st.issuedInsts.value()),
+            static_cast<uint64_t>(st.replays.value()),
+            static_cast<uint64_t>(st.squashedInsts.value()),
+            robCount,
+            schedCount_ + schedHeld,
+            fetchCount,
+            rn.occupancy(isa::RegClass::Int),
+            rn.occupancy(isa::RegClass::Fp),
+        };
+        if (wdSigValid && sig == wdSig) {
+            if (++wdFrozenWindows >= cfg.watchdogAuditWindows)
+                raiseStall(ProgressStall::Kind::Livelock);
+        } else {
+            wdFrozenWindows = 0;
+        }
+        wdSig = sig;
+        wdSigValid = true;
     }
 }
 
@@ -539,6 +648,8 @@ OutOfOrderCore::replayInst(uint32_t idx)
     RobHot &e = robHot[idx];
     ++st.replays;
     robCold[idx].replays += 1;
+    flight->record(FlightEvent::Replay, cycle, robCold[idx].wi.pc,
+                   e.seq, e.hasDst ? e.dstPreg : ~0u);
     if (e.hasDst) {
         specAvail(e.dstCls, e.dstPreg) = kNever;
         actualAvail(e.dstCls, e.dstPreg) = kNever;
@@ -875,6 +986,7 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
         cfg.hoistScratch ? freedScratch : local;
     to_free.clear();
 
+    const uint32_t count_before = robCount;
     while (robTail != stop) {
         const uint32_t last =
             (robTail + cfg.robSize - 1) % cfg.robSize;
@@ -927,6 +1039,11 @@ OutOfOrderCore::squashAfter(uint32_t branch_idx)
     }
 
     lsq.squashYounger(robCold[branch_idx].wi.seq);
+    // arg = entries this recovery squashed.
+    flight->record(FlightEvent::Squash, cycle,
+                   robCold[branch_idx].wi.pc,
+                   robCold[branch_idx].wi.seq,
+                   count_before - robCount);
 
     // Drop squashed scheduler entries (legacy polling queue only;
     // the event path unlinked them in the walk above).
@@ -991,6 +1108,8 @@ OutOfOrderCore::commitStage()
             ++st.committedBranches;
         }
 
+        flight->record(FlightEvent::Commit, cycle, c.wi.pc,
+                       c.wi.seq, e.hasDst ? e.dstPreg : ~0u);
         e.valid = false;
         e.slotGen += 1;
         robHead = (robHead + 1) % cfg.robSize;
@@ -1008,6 +1127,14 @@ OutOfOrderCore::commitStage()
 void
 OutOfOrderCore::selectStage()
 {
+    // Planted scheduler wedge (watchdog validation only): stop
+    // issuing forever once the trigger commit count is reached. The
+    // in-flight window drains and the machine freezes solid.
+    if (cfg.injectFault == InjectedFault::WedgeScheduler &&
+        nCommitted >= kWedgeAfterCommits) {
+        return;
+    }
+
     if (cfg.eventWakeup) {
         // Timed wakeups land before select so entries predicted
         // ready this cycle are eligible this cycle, like polling.
@@ -1083,6 +1210,9 @@ OutOfOrderCore::selectStage()
                 scheduleEvent(cycle + cfg.selectToExe,
                               EventType::ExeStart, idx);
                 ++st.issuedInsts;
+                flight->record(FlightEvent::Issue, cycle,
+                               robCold[idx].wi.pc, e.seq,
+                               e.hasDst ? e.dstPreg : ~0u);
             }
         }
         return;
@@ -1135,6 +1265,9 @@ OutOfOrderCore::selectStage()
                       idx);
         it = schedQueue.erase(it);
         ++st.issuedInsts;
+        flight->record(FlightEvent::Issue, cycle,
+                       robCold[idx].wi.pc, e.seq,
+                       e.hasDst ? e.dstPreg : ~0u);
     }
 }
 
@@ -1291,6 +1424,8 @@ OutOfOrderCore::renameStage()
         fetchHead = (fetchHead + 1) % fq_cap;
         --fetchCount;
         ++st.renamedInsts;
+        flight->record(FlightEvent::Rename, cycle, wi.pc, wi.seq,
+                       e.hasDst ? e.dstPreg : ~0u);
     }
 }
 
@@ -1395,6 +1530,8 @@ OutOfOrderCore::fetchStage()
             f.wi = wi;
             ++fetchCount;
             ++st.fetchedInsts;
+            flight->record(FlightEvent::Fetch, cycle, wi.pc, wi.seq,
+                           pred_taken ? 1 : 0);
             if (pred_taken) {
                 // Fetch stops at the first taken branch in a cycle.
                 return;
@@ -1405,6 +1542,7 @@ OutOfOrderCore::fetchStage()
         f.wi = wi;
         ++fetchCount;
         ++st.fetchedInsts;
+        flight->record(FlightEvent::Fetch, cycle, wi.pc, wi.seq, 0);
     }
 }
 

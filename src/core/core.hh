@@ -17,10 +17,14 @@
 #define PRI_CORE_CORE_HH
 
 #include <array>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/flight_recorder.hh"
 #include "common/stats.hh"
 #include "common/undo_journal.hh"
 #include "core/checkpoint_pool.hh"
@@ -202,6 +206,56 @@ class CommitObserver
     virtual void onCommit(const CommitRecord &rec) = 0;
 };
 
+/**
+ * Structured forward-progress diagnostic raised by the watchdog: a
+ * snapshot of the machine's occupancy at detection time, so the
+ * harness (and a human reading the error table) can tell a commit
+ * stall from a hard livelock from a blown budget without a rerun.
+ */
+struct ProgressStall
+{
+    enum class Kind : uint8_t
+    {
+        CommitStall, ///< no commit for watchdogCycles cycles
+        Livelock,    ///< occupancy frozen across audit windows
+        CycleBudget, ///< cfg.cycleBudget exceeded
+        WallClock,   ///< per-run wall-clock deadline exceeded
+    };
+
+    Kind kind = Kind::CommitStall;
+    uint64_t cycle = 0;
+    uint64_t lastCommitCycle = 0;
+    uint64_t committed = 0;
+    unsigned robCount = 0;
+    unsigned schedCount = 0;
+    unsigned schedHeld = 0;
+    unsigned fetchCount = 0;
+    unsigned occInt = 0; ///< INT PRF occupancy
+    unsigned occFp = 0;  ///< FP PRF occupancy
+
+    /** Stable display name of @p kind ("commit-stall", ...). */
+    static const char *kindName(Kind kind);
+
+    /** One-line human-readable summary of the stall state. */
+    std::string describe() const;
+};
+
+/**
+ * Exception carrying a ProgressStall out of the cycle loop. what()
+ * holds the described stall, the active run context, and the
+ * flight-recorder trace; the runner maps it to a per-run outcome.
+ */
+class ProgressStallError : public std::runtime_error
+{
+  public:
+    ProgressStallError(const ProgressStall &stall, std::string msg)
+        : std::runtime_error(std::move(msg)), stall(stall)
+    {
+    }
+
+    ProgressStall stall;
+};
+
 /** Execution-driven out-of-order core simulator. */
 class OutOfOrderCore
 {
@@ -243,6 +297,15 @@ class OutOfOrderCore
 
     /** Wakeup/select instrumentation (bench-only; see the type). */
     const WakeupTelemetry &wakeupTelemetry() const { return wk; }
+
+    /**
+     * Arm a wall-clock budget for subsequent run() calls: once
+     * @p timeout_ms milliseconds elapse (checked every few thousand
+     * cycles), run() raises ProgressStallError{WallClock}. 0 clears
+     * the deadline. Observation only — a run that finishes within
+     * its budget is byte-identical to an unbudgeted one.
+     */
+    void setWallClockBudget(uint64_t timeout_ms);
 
   private:
     enum class EventType : uint8_t
@@ -349,6 +412,12 @@ class OutOfOrderCore
     /** Any valid, unretired entry in the non-circular ROB index
      *  range [lo, hi)? Serviced by the unretiredBits bitmap. */
     bool anyUnretiredInRange(uint32_t lo, uint32_t hi) const;
+
+    // --- forward-progress watchdog ---
+    /** Per-cycle progress checks; raises ProgressStallError. */
+    void watchdogCheck();
+    /** Build + throw the structured stall diagnostic. */
+    [[noreturn]] void raiseStall(ProgressStall::Kind kind);
 
     bool srcSpecReady(const rename::SrcRead &s) const;
     bool srcActualReady(const rename::SrcRead &s) const;
@@ -495,6 +564,19 @@ class OutOfOrderCore
     std::vector<Freed> freedScratch;
 
     CommitObserver *observer = nullptr;
+
+    /** This thread's flight recorder, resolved once at construction
+     *  (each simulation runs entirely on the thread that built it). */
+    FlightRecorder *flight;
+
+    // Forward-progress watchdog state (observation only).
+    /** Occupancy/activity signature compared across audit windows. */
+    std::array<uint64_t, 10> wdSig{};
+    uint64_t wdNextAudit = 0;
+    unsigned wdFrozenWindows = 0;
+    bool wdSigValid = false;
+    std::chrono::steady_clock::time_point wdDeadline{};
+    bool wdHasDeadline = false;
 
     uint64_t cycle = 0;
     uint64_t nCommitted = 0;

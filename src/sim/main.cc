@@ -1,22 +1,43 @@
 /**
  * @file
- * pri_sim: command-line driver for single simulations.
+ * pri_sim: command-line driver for single simulations and small
+ * fault-tolerant sweeps.
  *
  * Usage:
  *   pri_sim [-b benchmark] [-w width] [-s scheme] [-p pregs]
- *           [-n measureInsts] [-u warmupInsts] [-v]
+ *           [-n measureInsts] [-u warmupInsts] [-S seed] [-v]
  *           [--check-golden]
+ *           [--sweep N] [--jobs N] [--journal PATH]
+ *           [--timeout-ms N] [--cycle-budget N]
+ *           [--watchdog-cycles N] [--no-watchdog]
+ *           [--retries N] [--backoff-ms N]
+ *           [--inject-fault KIND[@POINT]]
  *
  * Schemes: base er pri pri-lazy pri-ideal pri-ideal-lazy pri-er inf
  *          vp vp-pri
+ *
+ * `--sweep N` draws N points deterministically from the seed
+ * (benchmark x scheme x register count, at the -w width) and runs
+ * them through the pooled SimulationRunner. A point that stalls,
+ * panics, or crashes is reported in a per-point error table on
+ * stderr (exit status 2) while its siblings complete; with
+ * `--journal` finished points are persisted as they land, so
+ * rerunning the identical command after a crash re-simulates only
+ * the missing points and prints a byte-identical table.
+ * `--inject-fault wedge@3` plants a scheduler wedge in point 3 only
+ * (the watchdog acceptance drill).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/hashing.hh"
 #include "common/logging.hh"
+#include "sim/journal.hh"
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/profile.hh"
 
@@ -40,13 +61,97 @@ parseScheme(const std::string &s)
     pri::fatal("unknown scheme '{}'", s);
 }
 
+/** "wedge", "wrong-path", "stale-gidx", optionally "@<point>". */
+pri::core::InjectedFault
+parseFault(const std::string &spec, long &point)
+{
+    using pri::core::InjectedFault;
+    std::string kind = spec;
+    point = -1; // every point / the single run
+    const size_t at = spec.find('@');
+    if (at != std::string::npos) {
+        kind = spec.substr(0, at);
+        point = std::atol(spec.c_str() + at + 1);
+    }
+    if (kind == "wedge") return InjectedFault::WedgeScheduler;
+    if (kind == "wrong-path") return InjectedFault::CommitWrongPath;
+    if (kind == "stale-gidx") return InjectedFault::StaleWalkerGidx;
+    pri::fatal("unknown fault '{}' (wedge, wrong-path, stale-gidx)",
+               kind);
+}
+
+/**
+ * Draw sweep point @p i as a pure function of the seed: benchmark,
+ * scheme, and register-file size vary; everything else comes from
+ * the base params. Identical across --jobs counts and resumes.
+ */
+pri::sim::RunParams
+drawSweepPoint(const pri::sim::RunParams &base, size_t i)
+{
+    static const pri::sim::Scheme schemes[] = {
+        pri::sim::Scheme::Base,
+        pri::sim::Scheme::EarlyRelease,
+        pri::sim::Scheme::PriRefcountCkptcount,
+        pri::sim::Scheme::PriPlusEr,
+    };
+    static const unsigned pregs[] = {48, 64, 80, 96};
+
+    const auto &profiles = pri::workload::allProfiles();
+    const auto pick = [&](uint64_t salt, size_t n) {
+        return pri::hashRange(n, base.seed, i, salt);
+    };
+    pri::sim::RunParams p = base;
+    p.benchmark = profiles[pick(101, profiles.size())].name;
+    p.scheme = schemes[pick(102, std::size(schemes))];
+    p.physRegs = pregs[pick(103, std::size(pregs))];
+    return p;
+}
+
+void
+printResult(const pri::sim::RunResult &r, unsigned pregs,
+            bool verbose)
+{
+    std::printf("benchmark %s  width %u  scheme %s  pregs %u\n",
+                r.benchmark.c_str(), r.width, r.scheme.c_str(),
+                pregs);
+    std::printf("IPC %.4f  (insts %llu, cycles %llu)\n", r.ipc,
+                static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("occupancy INT %.1f  FP %.1f\n", r.avgIntOccupancy,
+                r.avgFpOccupancy);
+    std::printf("lifetime  alloc->write %.1f  write->lastread %.1f  "
+                "lastread->release %.1f\n",
+                r.lifeAllocToWrite, r.lifeWriteToLastRead,
+                r.lifeLastReadToRelease);
+    std::printf("mispredict/branch %.4f  dl1 miss %.4f  "
+                "inlined %.3f\n",
+                r.branchMispredictRate, r.dl1MissRate,
+                r.inlinedFrac);
+    if (r.goldenChecked > 0) {
+        std::printf("golden-checked %llu commits, no divergence\n",
+                    static_cast<unsigned long long>(
+                        r.goldenChecked));
+    }
+    if (verbose)
+        std::printf("\n%s", r.report.c_str());
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    pri::installCrashHandlers();
+
     pri::sim::RunParams p;
     bool verbose = false;
+    size_t sweep = 0;
+    unsigned jobs = 1;
+    unsigned retries = 0;
+    unsigned backoff_ms = 0;
+    std::string journal_path;
+    pri::core::InjectedFault fault = pri::core::InjectedFault::None;
+    long fault_point = -1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -75,6 +180,28 @@ main(int argc, char **argv)
             verbose = true;
         } else if (a == "--check-golden") {
             p.checkGolden = true;
+        } else if (a == "--sweep") {
+            sweep = static_cast<size_t>(std::atoll(next()));
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--journal") {
+            journal_path = next();
+        } else if (a == "--timeout-ms") {
+            p.timeoutMs = static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "--cycle-budget") {
+            p.cycleBudget =
+                static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "--watchdog-cycles") {
+            p.watchdogCycles =
+                static_cast<uint64_t>(std::atoll(next()));
+        } else if (a == "--no-watchdog") {
+            p.watchdog = false;
+        } else if (a == "--retries") {
+            retries = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--backoff-ms") {
+            backoff_ms = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--inject-fault") {
+            fault = parseFault(next(), fault_point);
         } else if (a == "-l" || a == "--list") {
             for (const auto &prof : pri::workload::allProfiles())
                 std::printf("%s\n", prof.name.c_str());
@@ -83,46 +210,95 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: pri_sim [-b bench] [-w width] "
                          "[-s scheme] [-p pregs] [-n insts] "
-                         "[-u warmup] [-v] [-l] "
-                         "[--check-golden]\n");
+                         "[-u warmup] [-S seed] [-v] [-l] "
+                         "[--check-golden] [--sweep N] [--jobs N] "
+                         "[--journal PATH] [--timeout-ms N] "
+                         "[--cycle-budget N] "
+                         "[--watchdog-cycles N] [--no-watchdog] "
+                         "[--retries N] [--backoff-ms N] "
+                         "[--inject-fault KIND[@POINT]]\n");
             return 1;
         }
     }
 
     p.checkInvariants = true;
-    // simulate() throws on bad parameters (e.g. an unknown
-    // benchmark name) so batch drivers can capture per-run errors;
-    // at the CLI the equivalent is a clean fatal.
-    const auto r = [&] {
-        try {
-            return pri::sim::simulate(p);
-        } catch (const std::exception &e) {
-            pri::fatal("{}", e.what());
-        }
-    }();
 
-    std::printf("benchmark %s  width %u  scheme %s  pregs %u\n",
-                r.benchmark.c_str(), r.width, r.scheme.c_str(),
-                p.physRegs);
-    std::printf("IPC %.4f  (insts %llu, cycles %llu)\n", r.ipc,
-                static_cast<unsigned long long>(r.insts),
-                static_cast<unsigned long long>(r.cycles));
-    std::printf("occupancy INT %.1f  FP %.1f\n", r.avgIntOccupancy,
-                r.avgFpOccupancy);
-    std::printf("lifetime  alloc->write %.1f  write->lastread %.1f  "
-                "lastread->release %.1f\n",
-                r.lifeAllocToWrite, r.lifeWriteToLastRead,
-                r.lifeLastReadToRelease);
-    std::printf("mispredict/branch %.4f  dl1 miss %.4f  "
-                "inlined %.3f\n",
-                r.branchMispredictRate, r.dl1MissRate,
-                r.inlinedFrac);
-    if (r.goldenChecked > 0) {
-        std::printf("golden-checked %llu commits, no divergence\n",
-                    static_cast<unsigned long long>(
-                        r.goldenChecked));
+    if (sweep == 0) {
+        if (fault != pri::core::InjectedFault::None)
+            p.injectFault = fault;
+        // simulate() throws on bad parameters (e.g. an unknown
+        // benchmark name) so batch drivers can capture per-run
+        // errors; at the CLI the equivalent is a clean fatal.
+        const auto r = [&] {
+            try {
+                return pri::sim::simulate(p);
+            } catch (const std::exception &e) {
+                pri::fatal("{}", e.what());
+            }
+        }();
+        printResult(r, p.physRegs, verbose);
+        return 0;
     }
-    if (verbose)
-        std::printf("\n%s", r.report.c_str());
+
+    // ---- sweep mode ----
+    std::vector<pri::sim::RunParams> batch;
+    batch.reserve(sweep);
+    for (size_t i = 0; i < sweep; ++i) {
+        auto point = drawSweepPoint(p, i);
+        if (fault != pri::core::InjectedFault::None &&
+            (fault_point < 0 ||
+             static_cast<size_t>(fault_point) == i)) {
+            point.injectFault = fault;
+        }
+        batch.push_back(std::move(point));
+    }
+
+    pri::sim::SweepJournal journal(journal_path);
+    if (journal.loadedPoints() > 0) {
+        std::fprintf(stderr,
+                     "journal: resuming, %zu point(s) already "
+                     "complete\n",
+                     journal.loadedPoints());
+    }
+
+    pri::sim::SimulationRunner runner(jobs);
+    runner.setRetryPolicy({retries + 1, backoff_ms});
+    if (journal.enabled())
+        runner.setJournal(&journal);
+    const auto outcomes = runner.runCaptured(batch);
+
+    // The stdout table is emitted after the whole batch settles, in
+    // submission order, from bit-exact (journaled or fresh) results
+    // — byte-identical across --jobs counts and across resumes.
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const auto &o = outcomes[i];
+        if (o.ok()) {
+            std::printf("point %2zu  %-44s  IPC %.4f  cycles %llu\n",
+                        i,
+                        pri::sim::paramsSummary(batch[i]).c_str(),
+                        o.result.ipc,
+                        static_cast<unsigned long long>(
+                            o.result.cycles));
+        } else {
+            std::printf("point %2zu  %-44s  %s\n", i,
+                        pri::sim::paramsSummary(batch[i]).c_str(),
+                        o.stalled ? "STALLED" : "FAILED");
+        }
+    }
+
+    const std::string failures =
+        pri::sim::SimulationRunner::describeFailures(outcomes,
+                                                     batch);
+    if (!failures.empty()) {
+        std::fprintf(stderr, "\n%s", failures.c_str());
+        // Full (multi-line) errors, flight-recorder dumps included.
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            if (!outcomes[i].ok()) {
+                std::fprintf(stderr, "\n%s\n",
+                             outcomes[i].error.c_str());
+            }
+        }
+        return 2;
+    }
     return 0;
 }

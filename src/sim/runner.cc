@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
 #include "common/logging.hh"
+#include "sim/journal.hh"
 
 namespace pri::sim
 {
@@ -32,7 +34,8 @@ SimulationRunner::forEach(size_t n,
     const unsigned workers = static_cast<unsigned>(
         std::min<size_t>(nJobs, n));
     if (workers <= 1) {
-        // Exact serial semantics: no threads, no reordering.
+        // Exact serial semantics: no threads, no reordering, no
+        // capture mode imposed on the caller's thread.
         for (size_t i = 0; i < n; ++i)
             fn(i);
         return;
@@ -44,24 +47,82 @@ SimulationRunner::forEach(size_t n,
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
         pool.emplace_back([&, w] {
+            // Capture mode turns a panic()/fatal() inside fn into
+            // an exception: the worker parks it and stops pulling
+            // work instead of abort()/exit()ing under the feet of
+            // its siblings, which keep draining the batch.
+            ScopedErrorCapture capture;
             try {
                 for (size_t i = next.fetch_add(1); i < n;
                      i = next.fetch_add(1)) {
                     fn(i);
                 }
             } catch (...) {
-                // A worker that throws stops pulling work; the
-                // remaining indices drain through its siblings.
                 errors[w] = std::current_exception();
             }
         });
     }
     for (auto &t : pool)
         t.join();
+    // Pool fully drained; now surface the first captured failure on
+    // the calling thread. Fatal/panic errors re-enter the normal
+    // reporting path (which exits/aborts unless this thread is
+    // itself capturing); everything else propagates as-is.
     for (auto &e : errors) {
-        if (e)
+        if (!e)
+            continue;
+        try {
             std::rethrow_exception(e);
+        } catch (const FatalError &f) {
+            fatal("{}", f.what());
+        } catch (const PanicError &p) {
+            fatal("{}", p.what());
+        }
     }
+}
+
+SimulationRunner::Outcome
+SimulationRunner::runOne(size_t index, const RunParams &params) const
+{
+    Outcome out;
+    const uint64_t key = paramsHash(params);
+    if (journal != nullptr && journal->lookup(key, out.result)) {
+        out.fromJournal = true;
+        return out;
+    }
+
+    const unsigned tries = std::max(1u, retry.maxAttempts);
+    for (unsigned attempt = 0; attempt < tries; ++attempt) {
+        if (attempt > 0 && retry.backoffMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(attempt * retry.backoffMs));
+        }
+        RunParams p = params;
+        p.attempt = attempt;
+        ++out.attempts;
+        try {
+            ScopedErrorCapture capture;
+            out.result = simulate(p);
+            out.error.clear();
+            out.stalled = false;
+            if (journal != nullptr)
+                journal->record(key, out.result);
+            return out;
+        } catch (const core::ProgressStallError &e) {
+            // Watchdog stalls are deterministic; retrying would
+            // just wedge again, so fail the point immediately.
+            out.stalled = true;
+            out.error = e.what();
+            break;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+    }
+    out.error = fmtStr("run {} ({}): {}", index,
+                       paramsSummary(params), out.error);
+    return out;
 }
 
 std::vector<SimulationRunner::Outcome>
@@ -69,15 +130,39 @@ SimulationRunner::runCaptured(const std::vector<RunParams> &batch) const
 {
     std::vector<Outcome> out(batch.size());
     forEach(batch.size(), [&](size_t i) {
-        try {
-            out[i].result = simulate(batch[i]);
-        } catch (const std::exception &e) {
-            out[i].error = e.what();
-        } catch (...) {
-            out[i].error = "unknown exception";
-        }
+        out[i] = runOne(i, batch[i]);
     });
     return out;
+}
+
+std::string
+SimulationRunner::describeFailures(
+    const std::vector<Outcome> &outcomes,
+    const std::vector<RunParams> &batch)
+{
+    size_t failed = 0;
+    for (const auto &o : outcomes)
+        failed += o.ok() ? 0 : 1;
+    if (failed == 0)
+        return "";
+
+    (void)batch;
+    std::string table = fmtStr("{} of {} runs failed:\n", failed,
+                               outcomes.size());
+    for (const auto &o : outcomes) {
+        if (o.ok())
+            continue;
+        // First line only: stall errors carry a multi-line flight-
+        // recorder dump that belongs in the log, not the table.
+        // The error itself already leads with "run <i> (<params>)".
+        const std::string brief =
+            o.error.substr(0, o.error.find('\n'));
+        table += fmtStr("  [{} after {} attempt{}] {}\n",
+                        o.stalled ? "stalled" : "failed",
+                        o.attempts, o.attempts == 1 ? "" : "s",
+                        brief);
+    }
+    return table;
 }
 
 std::vector<RunResult>
@@ -87,12 +172,8 @@ SimulationRunner::run(const std::vector<RunParams> &batch) const
     std::vector<RunResult> results;
     results.reserve(outcomes.size());
     for (size_t i = 0; i < outcomes.size(); ++i) {
-        if (!outcomes[i].ok()) {
-            fatal("simulation {} ({} / {} / width {}) failed: {}",
-                  i, batch[i].benchmark,
-                  schemeName(batch[i].scheme), batch[i].width,
-                  outcomes[i].error);
-        }
+        if (!outcomes[i].ok())
+            fatal("simulation {}", outcomes[i].error);
         results.push_back(std::move(outcomes[i].result));
     }
     return results;

@@ -1,8 +1,11 @@
 #include "simulation.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
+#include "common/flight_recorder.hh"
+#include "common/hashing.hh"
 #include "common/logging.hh"
 #include "golden/diff_checker.hh"
 #include "workload/program.hh"
@@ -59,9 +62,54 @@ makeRenameConfig(Scheme scheme, unsigned pregs, unsigned narrow_bits)
     fatal("unknown scheme");
 }
 
+uint64_t
+paramsHash(const RunParams &params)
+{
+    uint64_t h = splitMix64(0x5072694a6f75726eULL); // "PriJourn"
+    for (const char c : params.benchmark)
+        h = hashCombine(h, static_cast<uint64_t>(c));
+    h = hashCombine(h, params.width,
+                    static_cast<uint64_t>(params.scheme));
+    h = hashCombine(h, params.physRegs, params.warmupInsts);
+    h = hashCombine(h, params.measureInsts, params.seed);
+    h = hashCombine(h, params.checkInvariants ? 1 : 0,
+                    params.checkGolden ? 1 : 0);
+    h = hashCombine(h, params.goldenAuditInterval,
+                    params.schedSizeOverride);
+    h = hashCombine(h, params.narrowBitsOverride,
+                    static_cast<uint64_t>(params.injectFault));
+    h = hashCombine(h, params.injectFreeWithoutInline ? 1 : 0,
+                    params.injectTransientFails);
+    h = hashCombine(h, params.pooledCheckpoints ? 1 : 0,
+                    params.eventWakeup ? 1 : 0);
+    h = hashCombine(h, params.cycleBudget);
+    return h;
+}
+
+std::string
+paramsSummary(const RunParams &params)
+{
+    return fmtStr("{} / {} / w{} / pregs {} / seed {}",
+                  params.benchmark, schemeName(params.scheme),
+                  params.width, params.physRegs, params.seed);
+}
+
 RunResult
 simulate(const RunParams &params)
 {
+    if (params.injectTransientFails > params.attempt) {
+        throw TransientError(fmtStr(
+            "injected transient failure (attempt {} of {} planted)",
+            params.attempt + 1, params.injectTransientFails));
+    }
+
+    // Arm the forensics trail for this run: the flight recorder
+    // restarts empty and carries the params summary so watchdog
+    // stalls, panics, and crash dumps name the offending point.
+    FlightRecorder &fr = flightRecorder();
+    fr.clear();
+    fr.setContext(paramsSummary(params).c_str());
+
     const auto &profile = workload::profileByName(params.benchmark);
     workload::SyntheticProgram program(profile, params.seed);
 
@@ -84,8 +132,22 @@ simulate(const RunParams &params)
         cfg.schedSize = params.schedSizeOverride;
     cfg.injectFault = params.injectFault;
 
+    // Watchdog / budget plumbing. PRI_WATCHDOG_CYCLES overrides the
+    // stall threshold process-wide; 0 disables detection.
+    cfg.watchdogEnabled = params.watchdog;
+    if (params.watchdogCycles != 0)
+        cfg.watchdogCycles = params.watchdogCycles;
+    if (const char *wd = std::getenv("PRI_WATCHDOG_CYCLES")) {
+        const uint64_t v = std::strtoull(wd, nullptr, 10);
+        cfg.watchdogEnabled = v != 0;
+        if (v != 0)
+            cfg.watchdogCycles = v;
+    }
+    cfg.cycleBudget = params.cycleBudget;
+
     StatGroup stats;
     core::OutOfOrderCore cpu(cfg, program, stats);
+    cpu.setWallClockBudget(params.timeoutMs);
 
     std::unique_ptr<golden::DiffChecker> checker;
     if (params.checkGolden ||

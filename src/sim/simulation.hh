@@ -10,6 +10,7 @@
 #define PRI_SIM_SIMULATION_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "core/core.hh"
@@ -87,6 +88,33 @@ struct RunParams
     core::InjectedFault injectFault = core::InjectedFault::None;
     bool injectFreeWithoutInline = false;
     /**
+     * Test-only transient-failure seam for the runner's retry
+     * policy: simulate() throws TransientError while
+     * attempt < injectTransientFails, then succeeds normally — so
+     * "fails twice, succeeds on the third try" is deterministic.
+     */
+    unsigned injectTransientFails = 0;
+    /**
+     * Retry ordinal (0 = first try), stamped by SimulationRunner on
+     * each attempt. Never affects results or the params hash; read
+     * only by the transient-failure seam above.
+     */
+    unsigned attempt = 0;
+    /**
+     * Forward-progress watchdog (see core::CoreConfig). Enabled by
+     * default; watchdogCycles 0 takes the built-in default.
+     * PRI_WATCHDOG_CYCLES overrides the threshold process-wide
+     * (0 disables the watchdog entirely).
+     */
+    bool watchdog = true;
+    uint64_t watchdogCycles = 0;
+    /** Hard cycle budget, 0 = unlimited: exceeding it raises
+     *  core::ProgressStallError instead of running forever. */
+    uint64_t cycleBudget = 0;
+    /** Per-run wall-clock budget in milliseconds (0 = none).
+     *  Machine-dependent, so excluded from the params hash. */
+    uint64_t timeoutMs = 0;
+    /**
      * Recover branch state through the checkpoint pool (default)
      * rather than the legacy copy-everywhere path. Timing-identical;
      * exists so harnesses can A/B the simulator-speed change. The
@@ -135,6 +163,29 @@ struct RunResult
     /** Full stat report (for verbose output). */
     std::string report;
 };
+
+/**
+ * Thrown by the injectTransientFails test seam; the runner's retry
+ * policy treats any failure as retryable, this type just makes the
+ * planted ones recognizable in error text.
+ */
+class TransientError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Deterministic digest of every RunParams field that can change the
+ * simulation's result (benchmark, machine shape, scheme, seed,
+ * budgets, planted faults). Excludes observation-only knobs —
+ * attempt, watchdog settings, timeoutMs — so a journaled result
+ * stays valid across retries and machines. Keys the sweep journal.
+ */
+uint64_t paramsHash(const RunParams &params);
+
+/** One-line human-readable summary (bench / scheme / width / pregs
+ *  / seed) used in error prefixes and flight-recorder context. */
+std::string paramsSummary(const RunParams &params);
 
 /** Run one simulation. */
 RunResult simulate(const RunParams &params);

@@ -17,8 +17,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/hashing.hh"
+#include "sim/runner.hh"
 #include "sim/simulation.hh"
 
 namespace pri
@@ -73,6 +75,12 @@ drawPoint(uint64_t seed, uint64_t index)
     p.pooledCheckpoints = pick(7, 2) != 0;
     p.seed = hashCombine(seed, index, 8);
     p.eventWakeup = pick(9, 2) != 0;
+    // Robustness axes: the watchdog is observation-only, so fuzzing
+    // it on/off must never change a single golden-checked commit;
+    // the cycle budget turns any wedge the fuzzer ever finds into a
+    // structured per-point failure instead of a hung CI job.
+    p.watchdog = pick(10, 2) != 0;
+    p.cycleBudget = 2'000'000;
     p.warmupInsts = 2000;
     p.measureInsts = 8000;
     p.checkInvariants = true;
@@ -100,6 +108,47 @@ TEST(ConfigFuzz, RandomConfigsStayGoldenClean)
         EXPECT_EQ(r.goldenChecked, r.committedTotal);
         EXPECT_GE(r.goldenChecked,
                   p.warmupInsts + p.measureInsts);
+    }
+}
+
+/**
+ * Same grid through the fault-tolerant runner, with a fuzzed retry
+ * policy and planted transient failures that always stay within the
+ * attempt budget: every point must come back ok, on the expected
+ * attempt, golden-clean, and bit-identical to a direct simulate().
+ */
+TEST(ConfigFuzz, RetryPolicyConvergesGoldenClean)
+{
+    const uint64_t seed = envOr("PRI_FUZZ_SEED", 1);
+    const uint64_t runs = envOr("PRI_FUZZ_RUNS", 6);
+    for (uint64_t i = 0; i < runs; ++i) {
+        auto p = drawPoint(seed, i);
+        const auto pick = [&](uint64_t salt, uint64_t bound) {
+            return hashCombine(seed, i, salt) % bound;
+        };
+        const unsigned max_attempts =
+            1 + static_cast<unsigned>(pick(11, 3));
+        p.injectTransientFails =
+            static_cast<unsigned>(pick(12, max_attempts));
+        SCOPED_TRACE("PRI_FUZZ_SEED=" + std::to_string(seed) +
+                     " index=" + std::to_string(i) + ": " +
+                     p.benchmark + " attempts " +
+                     std::to_string(max_attempts) + " transients " +
+                     std::to_string(p.injectTransientFails));
+
+        sim::SimulationRunner runner(1);
+        runner.setRetryPolicy({max_attempts, 0});
+        const auto outcomes = runner.runCaptured({p});
+        ASSERT_EQ(outcomes.size(), 1u);
+        ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+        EXPECT_EQ(outcomes[0].attempts,
+                  p.injectTransientFails + 1);
+
+        const auto &r = outcomes[0].result;
+        EXPECT_EQ(r.goldenChecked, r.committedTotal);
+        auto direct = p;
+        direct.injectTransientFails = 0;
+        EXPECT_EQ(r.report, sim::simulate(direct).report);
     }
 }
 

@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/core.hh"
+#include "sim/journal.hh"
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 
@@ -143,6 +147,197 @@ TEST(SimulationRunner, RunCapturedReportsPerRunErrors)
 
     // Successful runs are unaffected by the failing sibling.
     expectIdentical(outcomes[0].result, simulate(batch[0]));
+}
+
+/** Captured errors lead with the run index and a params summary. */
+TEST(SimulationRunner, CapturedErrorsNameTheRun)
+{
+    auto batch = smallBatch();
+    batch[2].benchmark = "no-such-benchmark";
+
+    const auto outcomes = SimulationRunner(2).runCaptured(batch);
+    ASSERT_FALSE(outcomes[2].ok());
+    EXPECT_EQ(outcomes[2].error.find("run 2 (no-such-benchmark / "),
+              0u);
+
+    const auto table = SimulationRunner::describeFailures(outcomes,
+                                                          batch);
+    EXPECT_NE(table.find("1 of 4 runs failed"), std::string::npos);
+    EXPECT_NE(table.find("run 2"), std::string::npos);
+}
+
+/**
+ * A run that wedges mid-batch is captured as a stall — flight
+ * recorder and all — while every sibling completes bit-identically
+ * to a fault-free batch.
+ */
+TEST(SimulationRunner, StalledRunDoesNotPoisonSiblings)
+{
+    auto batch = smallBatch();
+    batch[1].injectFault = core::InjectedFault::WedgeScheduler;
+    batch[1].watchdogCycles = 30000;
+    batch[1].measureInsts = 50000;
+
+    const auto outcomes = SimulationRunner(4).runCaptured(batch);
+    ASSERT_EQ(outcomes.size(), batch.size());
+    ASSERT_FALSE(outcomes[1].ok());
+    EXPECT_TRUE(outcomes[1].stalled);
+    EXPECT_EQ(outcomes[1].error.find("run 1 ("), 0u);
+    EXPECT_NE(outcomes[1].error.find("forward-progress watchdog"),
+              std::string::npos);
+    EXPECT_NE(outcomes[1].error.find("flight recorder"),
+              std::string::npos);
+
+    for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+        ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+        EXPECT_FALSE(outcomes[i].stalled);
+        expectIdentical(outcomes[i].result, simulate(batch[i]));
+    }
+}
+
+/** A panic (golden divergence) is captured per-run, not process-
+ *  fatal, and carries the flight-recorder trace. */
+TEST(SimulationRunner, PanicIsCapturedPerRun)
+{
+    auto batch = smallBatch();
+    batch[0].checkGolden = true;
+    batch[0].injectFault = core::InjectedFault::CommitWrongPath;
+
+    const auto outcomes = SimulationRunner(2).runCaptured(batch);
+    ASSERT_FALSE(outcomes[0].ok());
+    EXPECT_FALSE(outcomes[0].stalled);
+    EXPECT_NE(outcomes[0].error.find("panic"), std::string::npos);
+    EXPECT_NE(outcomes[0].error.find("flight recorder"),
+              std::string::npos);
+    for (size_t i = 1; i < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+}
+
+/** Transient failures within the attempt budget retry to success;
+ *  beyond it the last error is reported. */
+TEST(SimulationRunner, RetriesTransientFailures)
+{
+    auto batch = smallBatch();
+    batch[1].injectTransientFails = 2;
+
+    SimulationRunner runner(2);
+    runner.setRetryPolicy({3, 0});
+    const auto outcomes = runner.runCaptured(batch);
+    ASSERT_TRUE(outcomes[1].ok()) << outcomes[1].error;
+    EXPECT_EQ(outcomes[1].attempts, 3u);
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    expectIdentical(outcomes[1].result, [&] {
+        auto p = batch[1];
+        p.injectTransientFails = 0;
+        return simulate(p);
+    }());
+
+    SimulationRunner strict(2);
+    strict.setRetryPolicy({2, 0});
+    const auto failed = strict.runCaptured(batch);
+    ASSERT_FALSE(failed[1].ok());
+    EXPECT_EQ(failed[1].attempts, 2u);
+    EXPECT_NE(failed[1].error.find("transient"), std::string::npos);
+}
+
+/** Journal round-trip: a second runner over the same batch serves
+ *  every point from the journal, bit-identically. */
+TEST(SimulationRunner, JournalServesCompletedPoints)
+{
+    const std::string path =
+        testing::TempDir() + "pri_test_journal_roundtrip";
+    std::remove(path.c_str());
+    const auto batch = smallBatch();
+
+    {
+        SweepJournal journal(path);
+        EXPECT_EQ(journal.loadedPoints(), 0u);
+        SimulationRunner runner(4);
+        runner.setJournal(&journal);
+        const auto fresh = runner.runCaptured(batch);
+        for (const auto &o : fresh) {
+            ASSERT_TRUE(o.ok()) << o.error;
+            EXPECT_FALSE(o.fromJournal);
+            EXPECT_EQ(o.attempts, 1u);
+        }
+        EXPECT_EQ(journal.appendedPoints(), batch.size());
+    }
+
+    SweepJournal reloaded(path);
+    EXPECT_EQ(reloaded.loadedPoints(), batch.size());
+    SimulationRunner runner(4);
+    runner.setJournal(&reloaded);
+    const auto cached = runner.runCaptured(batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(cached[i].ok()) << cached[i].error;
+        EXPECT_TRUE(cached[i].fromJournal);
+        EXPECT_EQ(cached[i].attempts, 0u);
+        expectIdentical(cached[i].result, simulate(batch[i]));
+    }
+    std::remove(path.c_str());
+}
+
+/** A journal whose writer died mid-line loads every complete entry
+ *  and skips the torn tail, so only that point reruns. */
+TEST(SimulationRunner, JournalSkipsTornLines)
+{
+    const std::string path =
+        testing::TempDir() + "pri_test_journal_torn";
+    std::remove(path.c_str());
+    const auto batch = smallBatch();
+
+    {
+        SweepJournal journal(path);
+        SimulationRunner runner(1);
+        runner.setJournal(&journal);
+        runner.run(batch);
+    }
+
+    // Simulate a SIGKILL mid-append: truncated final line, plus some
+    // unrelated garbage the parser must also reject.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fprintf(f, "garbage line\n");
+        std::fprintf(f, "PRIJ1\tdeadbeef\ttorn-mid-li");
+        std::fclose(f);
+    }
+
+    SweepJournal reloaded(path);
+    EXPECT_EQ(reloaded.loadedPoints(), batch.size());
+    RunResult out;
+    EXPECT_TRUE(reloaded.lookup(paramsHash(batch[0]), out));
+    EXPECT_EQ(out.report, simulate(batch[0]).report);
+    std::remove(path.c_str());
+}
+
+/** The journal key ignores attempt/watchdog/timeout knobs but
+ *  distinguishes everything that changes results. */
+TEST(SimulationRunner, ParamsHashSeparatesResultsOnly)
+{
+    RunParams a;
+    RunParams b = a;
+    b.attempt = 3;
+    b.watchdog = false;
+    b.watchdogCycles = 777;
+    b.timeoutMs = 123;
+    EXPECT_EQ(paramsHash(a), paramsHash(b));
+
+    for (auto mutate : std::vector<void (*)(RunParams &)>{
+             [](RunParams &p) { p.benchmark = "mcf"; },
+             [](RunParams &p) { p.seed += 1; },
+             [](RunParams &p) { p.physRegs = 128; },
+             [](RunParams &p) { p.scheme = Scheme::PriPlusEr; },
+             [](RunParams &p) { p.measureInsts += 1; },
+             [](RunParams &p) { p.cycleBudget = 5; },
+             [](RunParams &p) {
+                 p.injectFault =
+                     core::InjectedFault::WedgeScheduler;
+             }}) {
+        RunParams c;
+        mutate(c);
+        EXPECT_NE(paramsHash(a), paramsHash(c));
+    }
 }
 
 } // namespace
