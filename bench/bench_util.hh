@@ -39,6 +39,7 @@
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/profile.hh"
+#include "workload/trace/trace_cache.hh"
 
 namespace pri::bench
 {
@@ -349,10 +350,13 @@ runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
 }
 
 /**
- * Write every point evaluated so far as a JSON array to
- * opts.jsonPath (no-op without --json). Each record carries the
- * full grid coordinates plus the headline metrics, so future PRs
- * can diff figure data mechanically.
+ * Write every point evaluated so far to opts.jsonPath (no-op
+ * without --json) as {"points": [...], "traceCache": {...}}. Each
+ * point record carries the full grid coordinates plus the headline
+ * metrics, so future PRs can diff figure data mechanically; the
+ * traceCache section reports the run's front-end trace compilation
+ * and sharing statistics (machine-dependent only in that the op
+ * counters scale with how much this invocation simulated).
  */
 inline void
 writeJson(const Options &opts)
@@ -365,7 +369,7 @@ writeJson(const Options &opts)
                      opts.jsonPath.c_str());
         return;
     }
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\n\"points\": [\n");
     bool first = true;
     for (const auto &[key, r] : detail::jsonLog()) {
         const auto &[bench, width, scheme, pregs, warmup, measure] =
@@ -397,7 +401,24 @@ writeJson(const Options &opts)
             r->inlinedFrac);
         first = false;
     }
-    std::fprintf(f, "\n]\n");
+    const auto tc = workload::trace::TraceCache::global().stats();
+    std::fprintf(
+        f,
+        "\n],\n"
+        "\"traceCache\": {\"programsCompiled\": %llu, "
+        "\"programsShared\": %llu, \"blocksCompiled\": %llu, "
+        "\"microOps\": %llu, \"traceBytes\": %llu, "
+        "\"opsReplayed\": %llu, \"opsLegacyDecoded\": %llu, "
+        "\"replayHitRate\": %.4f}\n"
+        "}\n",
+        static_cast<unsigned long long>(tc.programsCompiled),
+        static_cast<unsigned long long>(tc.programsShared),
+        static_cast<unsigned long long>(tc.blocksCompiled),
+        static_cast<unsigned long long>(tc.microOps),
+        static_cast<unsigned long long>(tc.traceBytes),
+        static_cast<unsigned long long>(tc.opsReplayed),
+        static_cast<unsigned long long>(tc.opsLegacyDecoded),
+        tc.replayHitRate());
     std::fclose(f);
     std::printf("wrote %zu experiment points to %s\n",
                 detail::jsonLog().size(), opts.jsonPath.c_str());

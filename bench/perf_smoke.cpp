@@ -20,6 +20,13 @@
  *     checkpoints taken/restored/pool-stalled, steady-state heap
  *     allocations (must be zero pooled), and the per-branch snapshot
  *     bytes the pool removes. Written to BENCH_frontend.json.
+ *  5. Traced front end: the walker replay loop in isolation
+ *     (Minst/s, traced vs legacy decode) and a whole-core gcc run
+ *     with tracedFrontEnd on/off — plus the TraceCache sharing
+ *     stats of the multi-point sweep in (1)/(2). Trace replay must
+ *     make zero steady-state heap allocations (compile-time allocs
+ *     are allowed, replay allocs are not). Written to
+ *     BENCH_trace.json.
  *
  * Also prints a one-line comparison of the serial KIPS against the
  * committed BENCH_runner.json baseline when that file is present.
@@ -39,6 +46,8 @@
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/program.hh"
+#include "workload/trace/trace_cache.hh"
+#include "workload/walker.hh"
 
 namespace
 {
@@ -222,6 +231,101 @@ probeFrontEnd(bool pooled, const bench::Budget &budget)
     return probe;
 }
 
+/** Whole-core run with the traced vs legacy front end (gcc). */
+FrontEndProbe
+probeTracedCore(bool traced, const bench::Budget &budget)
+{
+    const auto &profile = workload::profileByName("gcc");
+    workload::SyntheticProgram program(profile, 11);
+
+    const unsigned narrow = core::CoreConfig::narrowBitsForWidth(4);
+    auto cfg = core::CoreConfig::fourWide(
+        rename::RenameConfig::base(64, narrow));
+    cfg.tracedFrontEnd = traced;
+
+    StatGroup stats;
+    core::OutOfOrderCore cpu(cfg, program, stats);
+
+    // Warm up past one-time growth (and, traced, past the deepest
+    // call-stack push the walker will see).
+    cpu.run(budget.warmup);
+    cpu.beginMeasurement();
+
+    const uint64_t c0 = cpu.cycles();
+    const uint64_t i0 = cpu.committedInsts();
+    const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+
+    const auto t0 = Clock::now();
+    cpu.run(budget.measure);
+    const double secs = secondsSince(t0);
+
+    FrontEndProbe probe;
+    probe.cycles = cpu.cycles() - c0;
+    probe.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.allocsPerCycle = probe.cycles > 0
+        ? static_cast<double>(probe.allocs) /
+            static_cast<double>(probe.cycles)
+        : 0.0;
+    probe.kips = secs > 0
+        ? static_cast<double>(cpu.committedInsts() - i0) / secs /
+            1000.0
+        : 0.0;
+    return probe;
+}
+
+struct WalkerProbe
+{
+    double mips = 0.0;     ///< front-end Minst/s, no timing core
+    uint64_t allocs = 0;   ///< heap allocations in the window
+    uint64_t insts = 0;
+};
+
+/**
+ * The front end in isolation: a bare next()/steer() replay loop
+ * down actual paths. This is the honest measure of the micro-trace
+ * rewrite itself, undiluted by the ~85% of runtime the timing core
+ * spends elsewhere (Amdahl caps the whole-binary gain; DESIGN.md
+ * §13).
+ */
+WalkerProbe
+probeWalkerReplay(bool traced, const bench::Budget &budget)
+{
+    const auto &profile = workload::profileByName("gcc");
+    workload::SyntheticProgram program(profile, 11);
+    std::shared_ptr<const workload::trace::ProgramTraces> traces;
+    if (traced) {
+        traces =
+            workload::trace::TraceCache::global().acquire(program);
+    }
+    workload::Walker walker(program, traces.get());
+
+    const uint64_t n = budget.measure * 25;
+    uint64_t sink = 0;
+    const auto step = [&] {
+        const auto wi = walker.next();
+        sink ^= wi.resultValue ^ wi.memAddr;
+        if (walker.branchPending())
+            walker.steer(wi, wi.taken, wi.actualTarget);
+    };
+
+    // Warmup: grow the call stack to its steady depth.
+    for (uint64_t i = 0; i < n / 10; ++i)
+        step();
+
+    const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    for (uint64_t i = 0; i < n; ++i)
+        step();
+    const double secs = secondsSince(t0);
+
+    WalkerProbe probe;
+    probe.insts = n + (sink & 1); // keep the sink alive
+    probe.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.mips =
+        secs > 0 ? static_cast<double>(n) / secs / 1e6 : 0.0;
+    return probe;
+}
+
 /** serialKips from the committed BENCH_runner.json, or 0. */
 double
 baselineSerialKips()
@@ -263,6 +367,10 @@ main(int argc, char **argv)
 
     const auto batch = makeBatch(opts.budget);
 
+    // Sharing across the sweep: 26 points over 13 benchmarks means
+    // each program should compile once and be shared by the rest.
+    const auto tc0 = workload::trace::TraceCache::global().stats();
+
     auto t0 = Clock::now();
     const auto serial = sim::SimulationRunner(1).run(batch);
     const double serial_s = secondsSince(t0);
@@ -273,6 +381,8 @@ main(int argc, char **argv)
     const auto par = sim::SimulationRunner(jobs).run(batch);
     const double par_s = secondsSince(t0);
     const double par_kips = simulatedInsts(par) / par_s / 1000.0;
+
+    const auto tc1 = workload::trace::TraceCache::global().stats();
 
     std::printf("%-28s %10s %10s\n", "configuration", "KIPS",
                 "seconds");
@@ -398,6 +508,131 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(fe_pooled.cycles));
         std::fclose(f);
         std::printf("wrote BENCH_frontend.json\n");
+    }
+    std::printf("\n");
+
+    // Traced front end: the walker replay loop in isolation, then
+    // the whole core with the front end swapped. The host is a noisy
+    // shared box, so each A/B leg is best-of-3 with the legs
+    // interleaved (alternating legacy/traced keeps slow phases from
+    // landing entirely on one side); the allocation gates below look
+    // at every repetition, not just the best one.
+    WalkerProbe wk_legacy, wk_traced;
+    FrontEndProbe tc_legacy, tc_traced;
+    uint64_t wk_traced_allocs = 0, tc_traced_allocs = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto wl = probeWalkerReplay(false, opts.budget);
+        const auto wt = probeWalkerReplay(true, opts.budget);
+        const auto cl = probeTracedCore(false, opts.budget);
+        const auto ct = probeTracedCore(true, opts.budget);
+        wk_traced_allocs += wt.allocs;
+        tc_traced_allocs += ct.allocs;
+        if (wl.mips > wk_legacy.mips)
+            wk_legacy = wl;
+        if (wt.mips > wk_traced.mips)
+            wk_traced = wt;
+        if (cl.kips > tc_legacy.kips)
+            tc_legacy = cl;
+        if (ct.kips > tc_traced.kips)
+            tc_traced = ct;
+    }
+    wk_traced.allocs = wk_traced_allocs;
+    tc_traced.allocs = tc_traced_allocs;
+
+    const uint64_t sweep_compiled =
+        tc1.programsCompiled - tc0.programsCompiled;
+    const uint64_t sweep_shared =
+        tc1.programsShared - tc0.programsShared;
+    const auto tc_all = workload::trace::TraceCache::global().stats();
+
+    std::printf("%-28s %12s %12s\n", "walker replay (gcc)",
+                "Minst/s", "allocs");
+    std::printf("%-28s %12.1f %12llu\n", "legacy decode",
+                wk_legacy.mips,
+                static_cast<unsigned long long>(wk_legacy.allocs));
+    std::printf("%-28s %12.1f %12llu\n", "traced replay",
+                wk_traced.mips,
+                static_cast<unsigned long long>(wk_traced.allocs));
+    std::printf("walker replay speedup: %.2fx over %llu insts\n",
+                wk_legacy.mips > 0 ? wk_traced.mips / wk_legacy.mips
+                                   : 0.0,
+                static_cast<unsigned long long>(wk_traced.insts));
+    std::printf("%-28s %10s %12s\n", "whole core (gcc)", "KIPS",
+                "allocs/cyc");
+    std::printf("%-28s %10.1f %12.4f\n", "legacy front end",
+                tc_legacy.kips, tc_legacy.allocsPerCycle);
+    std::printf("%-28s %10.1f %12.4f\n", "traced front end",
+                tc_traced.kips, tc_traced.allocsPerCycle);
+    std::printf("trace cache: %llu programs compiled, %llu shared "
+                "across the %zu-run sweep; %llu blocks, %llu "
+                "micro-ops, %llu B resident; replay hit rate %.3f\n",
+                static_cast<unsigned long long>(sweep_compiled),
+                static_cast<unsigned long long>(sweep_shared),
+                batch.size() * 2,
+                static_cast<unsigned long long>(tc_all.blocksCompiled),
+                static_cast<unsigned long long>(tc_all.microOps),
+                static_cast<unsigned long long>(tc_all.traceBytes),
+                tc_all.replayHitRate());
+    if (wk_traced.allocs != 0) {
+        std::printf("FAIL: trace replay allocated %llu times in the "
+                    "measurement window\n",
+                    static_cast<unsigned long long>(
+                        wk_traced.allocs));
+        return 1;
+    }
+    if (tc_traced.allocs != 0) {
+        std::printf("FAIL: traced core allocated %llu times in the "
+                    "measurement window\n",
+                    static_cast<unsigned long long>(
+                        tc_traced.allocs));
+        return 1;
+    }
+    std::printf("traced path: zero steady-state allocations "
+                "(replay and whole-core)\n");
+
+    if (std::FILE *f = std::fopen("BENCH_trace.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"benchmark\": \"gcc\",\n"
+            "  \"jobs\": %u,\n"
+            "  \"serialKips\": %.1f,\n"
+            "  \"parallelKips\": %.1f,\n"
+            "  \"baselineSerialKips\": %.1f,\n"
+            "  \"walkerLegacyMips\": %.1f,\n"
+            "  \"walkerTracedMips\": %.1f,\n"
+            "  \"walkerReplaySpeedup\": %.3f,\n"
+            "  \"coreLegacyKips\": %.1f,\n"
+            "  \"coreTracedKips\": %.1f,\n"
+            "  \"coreTracedSpeedup\": %.3f,\n"
+            "  \"replayAllocs\": %llu,\n"
+            "  \"tracedCoreAllocs\": %llu,\n"
+            "  \"sweepProgramsCompiled\": %llu,\n"
+            "  \"sweepProgramsShared\": %llu,\n"
+            "  \"blocksCompiled\": %llu,\n"
+            "  \"microOps\": %llu,\n"
+            "  \"traceBytes\": %llu,\n"
+            "  \"replayHitRate\": %.4f,\n"
+            "  \"measuredCycles\": %llu\n"
+            "}\n",
+            jobs, serial_kips, par_kips, base_kips, wk_legacy.mips,
+            wk_traced.mips,
+            wk_legacy.mips > 0 ? wk_traced.mips / wk_legacy.mips
+                               : 0.0,
+            tc_legacy.kips, tc_traced.kips,
+            tc_legacy.kips > 0 ? tc_traced.kips / tc_legacy.kips
+                               : 0.0,
+            static_cast<unsigned long long>(wk_traced.allocs),
+            static_cast<unsigned long long>(tc_traced.allocs),
+            static_cast<unsigned long long>(sweep_compiled),
+            static_cast<unsigned long long>(sweep_shared),
+            static_cast<unsigned long long>(tc_all.blocksCompiled),
+            static_cast<unsigned long long>(tc_all.microOps),
+            static_cast<unsigned long long>(tc_all.traceBytes),
+            tc_all.replayHitRate(),
+            static_cast<unsigned long long>(tc_traced.cycles));
+        std::fclose(f);
+        std::printf("wrote BENCH_trace.json\n");
     }
 
     const std::string json_path =

@@ -123,6 +123,20 @@ struct CoreConfig
     bool eventWakeup = true;
 
     /**
+     * Fetch through pre-decoded micro-traces: the front-end walker
+     * replays flat MicroOp arrays compiled once per program and
+     * shared through the global TraceCache, instead of re-deriving
+     * operands, targets, and hash draws from the StaticInst per
+     * dynamic instance. Byte-identical to the legacy decode path by
+     * construction (same draws in the same order; DESIGN.md §13);
+     * only simulator speed changes. The legacy path is kept so
+     * bench/perf_smoke can measure the decode cost the traces
+     * remove; the PRI_LEGACY_WALKER environment variable forces it
+     * for whole-binary spot checks.
+     */
+    bool tracedFrontEnd = true;
+
+    /**
      * Checkpoint-pool slots; 0 = auto (robSize + fetchQueueSize,
      * one slot per branch that can possibly be in flight, so fetch
      * never stalls on the pool). Smaller values model a finite

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/strfmt.hh"
 #include "isa/op_class.hh"
+#include "workload/trace/trace_cache.hh"
 
 namespace pri::core
 {
@@ -41,7 +42,12 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
                                const workload::SyntheticProgram &program,
                                StatGroup &stats)
     : cfg(config), sg(stats), st(stats), prog(program),
-      walker(program), rn(config.rename, stats), mem(config.mem),
+      traces(config.tracedFrontEnd
+                 ? workload::trace::TraceCache::global().acquire(
+                       program)
+                 : nullptr),
+      walker(program, traces.get()), rn(config.rename, stats),
+      mem(config.mem),
       lsq(config.lsqSize), robHot(config.robSize),
       robCold(config.robSize), fetchBuf(config.fetchQueueSize()),
       ckptPool(config.ckptPoolSize()), flight(&flightRecorder())

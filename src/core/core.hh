@@ -19,6 +19,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -430,6 +431,10 @@ class OutOfOrderCore
     StatGroup &sg;
     CoreStats st;
     const workload::SyntheticProgram &prog;
+    /** Compiled micro-traces shared via the global TraceCache; null
+     *  on the legacy decode path. Declared before the walker, which
+     *  borrows the raw pointer for its lifetime. */
+    std::shared_ptr<const workload::trace::ProgramTraces> traces;
     workload::Walker walker;
     rename::RenameUnit rn;
     memory::MemoryHierarchy mem;

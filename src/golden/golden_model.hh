@@ -68,6 +68,10 @@ class GoldenModel
     }
 
   private:
+    /** Deliberately constructed without traces: the reference stays
+     *  on the legacy decode path, so any golden-checked run of a
+     *  traced core cross-checks the two front-end implementations
+     *  instruction by instruction for free (DESIGN.md §13). */
     workload::Walker walker;
     std::array<uint64_t, 2 * isa::kNumLogicalRegs> arch{};
     GoldenInst cur;

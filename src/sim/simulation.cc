@@ -82,7 +82,8 @@ paramsHash(const RunParams &params)
                     params.injectTransientFails);
     h = hashCombine(h, params.pooledCheckpoints ? 1 : 0,
                     params.eventWakeup ? 1 : 0);
-    h = hashCombine(h, params.cycleBudget);
+    h = hashCombine(h, params.cycleBudget,
+                    params.tracedFrontEnd ? 1 : 0);
     return h;
 }
 
@@ -128,6 +129,9 @@ simulate(const RunParams &params)
     cfg.eventWakeup = params.eventWakeup;
     if (std::getenv("PRI_LEGACY_WAKEUP") != nullptr)
         cfg.eventWakeup = false;
+    cfg.tracedFrontEnd = params.tracedFrontEnd;
+    if (std::getenv("PRI_LEGACY_WALKER") != nullptr)
+        cfg.tracedFrontEnd = false;
     if (params.schedSizeOverride)
         cfg.schedSize = params.schedSizeOverride;
     cfg.injectFault = params.injectFault;

@@ -131,6 +131,15 @@ struct RunParams
      * for whole-binary spot checks.
      */
     bool eventWakeup = true;
+    /**
+     * Fetch through pre-decoded micro-traces shared via the global
+     * TraceCache (default) rather than the legacy per-instance
+     * decode path. Byte-identical output; exists so harnesses can
+     * A/B the simulator-speed change. The PRI_LEGACY_WALKER
+     * environment variable forces the legacy path for whole-binary
+     * spot checks.
+     */
+    bool tracedFrontEnd = true;
 };
 
 /** Headline metrics of one run. */

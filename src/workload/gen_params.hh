@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared parameters of the workload value/outcome generators.
+ *
+ * The legacy Walker decode path (walker.cc) and the trace compiler
+ * (trace/block_compiler.cc) must draw from *identical* hash streams:
+ * every salt and distribution constant lives here exactly once so the
+ * two paths cannot drift apart.
+ *
+ * Pre-folding: every per-instance draw in the generators has the form
+ * hashCombine(seed ^ salt, id, g) with (seed, salt, id) fixed per
+ * static instruction. hashCombine expands to
+ *
+ *   splitMix64(splitMix64(splitMix64(seed ^ salt) ^ id) ^ g)
+ *
+ * so the two inner rounds — hashPrefix(seed, salt, id) — can be baked
+ * into a MicroOp at trace-compile time, and a replay draw is a single
+ * splitMix64 round: foldHash(prefix, g). The static_asserts below pin
+ * this identity, which is the whole byte-identity argument for the
+ * traced front end (DESIGN.md §13).
+ */
+
+#ifndef PRI_WORKLOAD_GEN_PARAMS_HH
+#define PRI_WORKLOAD_GEN_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/hashing.hh"
+
+namespace pri::workload::genp
+{
+
+// Independent hash salts, one per random decision.
+constexpr uint64_t kSaltWidthSel = 0x77d1;
+constexpr uint64_t kSaltWidthJit = 0x77d2;
+constexpr uint64_t kSaltWidthNew = 0x77d3;
+constexpr uint64_t kSaltMag = 0x77d4;
+constexpr uint64_t kSaltNeg = 0x77d5;
+constexpr uint64_t kSaltFpZero = 0xf901;
+constexpr uint64_t kSaltFpExp = 0xf902;
+constexpr uint64_t kSaltFpSig = 0xf903;
+constexpr uint64_t kSaltFpSign = 0xf904;
+constexpr uint64_t kSaltFpTriv = 0xf905;
+constexpr uint64_t kSaltAddr = 0xadd1;
+constexpr uint64_t kSaltAddrCold = 0xadd2;
+constexpr uint64_t kSaltStreamSel = 0xadd3;
+constexpr uint64_t kSaltCorrSel = 0xbc01;
+constexpr uint64_t kSaltCorrOut = 0xbc02;
+constexpr uint64_t kSaltBias = 0xbc03;
+
+// Random streams have two-level locality: most accesses fall in a
+// hot region (temporal reuse the DL1 can capture), a fixed fraction
+// go cold anywhere in the working set. Real pointer-chasing codes
+// show exactly this skew; without it any working set larger than
+// the DL1 would miss on every access.
+constexpr double kColdAccessFrac = 0.30;
+constexpr uint64_t kHotRegionBytes = 8 * 1024;
+
+// History bits used for correlated branch outcomes. Kept narrow
+// (64 patterns per branch) so a 4k-entry gshare can learn the
+// pattern tables without catastrophic aliasing.
+constexpr uint64_t kHistMask = 0x3f;
+
+// Distribution constants shared by both decode paths.
+constexpr double kWidthStaySelFrac = 0.7;  ///< stay near width class
+constexpr double kOneBitNegFrac = 0.05;    ///< 1-bit values: P(-1)
+constexpr double kFpSignNegFrac = 0.3;     ///< FP sign bit bias
+constexpr uint64_t kFpExpBase = 1003;      ///< exponent window base
+constexpr uint64_t kFpExpRange = 30;       ///< exponent window width
+
+/** The (seed, salt, id)-dependent part of hashCombine, baked per
+ *  static instruction at trace-compile time. */
+constexpr uint64_t
+hashPrefix(uint64_t seed, uint64_t salt, uint64_t id)
+{
+    return splitMix64(splitMix64(seed ^ salt) ^ id);
+}
+
+/** Complete a pre-folded draw: one splitMix64 round per instance. */
+constexpr uint64_t
+foldHash(uint64_t prefix, uint64_t g)
+{
+    return splitMix64(prefix ^ g);
+}
+
+/** Pre-folded equivalent of hashUniform(seed ^ salt, id, g). */
+constexpr double
+foldUniform(uint64_t prefix, uint64_t g)
+{
+    return static_cast<double>(foldHash(prefix, g) >> 11) * 0x1.0p-53;
+}
+
+/** Pre-folded equivalent of hashRange(bound, seed ^ salt, id, g). */
+constexpr uint64_t
+foldRange(uint64_t bound, uint64_t prefix, uint64_t g)
+{
+    return bound == 0 ? 0 : foldHash(prefix, g) % bound;
+}
+
+// The identity the traced front end rests on: folding a baked prefix
+// reproduces the three-round hash bit-for-bit, for every key shape
+// the generators use (g as third key, and history h for correlated
+// branch draws).
+static_assert(foldHash(hashPrefix(0x12345678, kSaltMag, 77), 991) ==
+              hashCombine(0x12345678 ^ kSaltMag, 77, 991));
+static_assert(foldUniform(hashPrefix(7, kSaltBias, 3), 0) ==
+              hashUniform(7 ^ kSaltBias, 3, 0));
+static_assert(foldRange(30, hashPrefix(9, kSaltFpExp, 5), 63) ==
+              hashRange(30, 9 ^ kSaltFpExp, 5, 63));
+
+} // namespace pri::workload::genp
+
+#endif // PRI_WORKLOAD_GEN_PARAMS_HH

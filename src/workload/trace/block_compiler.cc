@@ -1,0 +1,135 @@
+#include "workload/trace/block_compiler.hh"
+
+#include "common/logging.hh"
+#include "workload/gen_params.hh"
+
+namespace pri::workload::trace
+{
+
+namespace
+{
+
+/** Pick the dispatch kind mirroring the legacy decode structure. */
+OpKind
+classify(const StaticInst &si)
+{
+    if (si.cls == isa::OpClass::Branch) {
+        // The program builder never gives terminators a destination
+        // or a memory stream; the replay dispatch relies on it.
+        PRI_ASSERT(!si.dst.valid() && si.memStream < 0,
+                   "branch with dst/mem is not trace-compilable");
+        if (si.isReturn)
+            return OpKind::BranchRet;
+        return si.isUncond ? OpKind::BranchJmp : OpKind::BranchCond;
+    }
+    if (si.memStream >= 0) {
+        PRI_ASSERT(!si.isDeadHint,
+                   "dead-hint memory op is not trace-compilable");
+        if (!si.dst.valid())
+            return OpKind::Store;
+        return si.dst.cls == isa::RegClass::Fp ? OpKind::LoadFp
+                                               : OpKind::LoadInt;
+    }
+    if (!si.dst.valid())
+        return OpKind::NoDst;
+    if (si.isDeadHint)
+        return OpKind::ZeroDst;
+    return si.dst.cls == isa::RegClass::Fp ? OpKind::FpDst
+                                           : OpKind::IntDst;
+}
+
+} // namespace
+
+BlockCompiler::BlockCompiler(const SyntheticProgram &program)
+    : prog(program), seed(program.seed())
+{
+}
+
+MicroOp
+BlockCompiler::compileInst(const StaticInst &si, const BasicBlock &blk,
+                           bool last) const
+{
+    using namespace genp;
+
+    MicroOp op;
+    op.pc = si.pc;
+    op.staticId = si.id;
+    op.cls = si.cls;
+    op.dst = si.dst;
+    op.src1 = si.src1;
+    op.src2 = si.src2;
+    op.widthClass = si.widthClass;
+    op.kind = classify(si);
+    op.fallthroughBlock = blk.fallthrough;
+    op.flags = (si.isCall ? kFlagCall : 0) |
+        (si.isReturn ? kFlagReturn : 0) |
+        (si.isUncond ? kFlagUncond : 0) |
+        (si.correlatable ? kFlagCorrelatable : 0) |
+        (last ? kFlagLast : 0);
+
+    const auto pre = [&](uint64_t salt) {
+        return hashPrefix(seed, salt, si.id);
+    };
+
+    switch (op.kind) {
+      case OpKind::IntDst:
+      case OpKind::LoadInt:
+        op.preWidthSel = pre(kSaltWidthSel);
+        op.preWidthJit = pre(kSaltWidthJit);
+        op.preWidthNew = pre(kSaltWidthNew);
+        op.preMag = pre(kSaltMag);
+        op.preNeg = pre(kSaltNeg);
+        break;
+      case OpKind::FpDst:
+      case OpKind::LoadFp:
+        op.preFpZero = pre(kSaltFpZero);
+        op.preFpExp = pre(kSaltFpExp);
+        op.preFpSig = pre(kSaltFpSig);
+        op.preFpSign = pre(kSaltFpSign);
+        op.preFpTriv = pre(kSaltFpTriv);
+        break;
+      case OpKind::ZeroDst:
+      case OpKind::NoDst:
+      case OpKind::Store:
+        break;
+      case OpKind::BranchCond:
+        op.preBias = pre(kSaltBias);
+        op.preCorrSel = pre(kSaltCorrSel);
+        op.preCorrOut = pre(kSaltCorrOut);
+        op.bias = static_cast<double>(si.bias);
+        [[fallthrough]];
+      case OpKind::BranchJmp:
+        op.takenBlock = si.takenBlock;
+        op.takenTargetPc = prog.block(si.takenBlock).startPc;
+        op.fallThroughPc = prog.block(blk.fallthrough).startPc;
+        break;
+      case OpKind::BranchRet:
+        // Taken target comes from the walker's call stack at replay.
+        op.takenTargetPc = 0;
+        op.fallThroughPc = prog.block(blk.fallthrough).startPc;
+        break;
+    }
+
+    if (si.memStream >= 0) {
+        op.stream = static_cast<uint16_t>(si.memStream);
+        op.altStream = si.altStream >= 0
+            ? static_cast<uint16_t>(si.altStream) : kNoStream;
+        op.preStreamSel = pre(kSaltStreamSel);
+        op.preAddr = pre(kSaltAddr);
+        op.preAddrCold = pre(kSaltAddrCold);
+    }
+    return op;
+}
+
+void
+BlockCompiler::compileBlock(const BasicBlock &blk,
+                            std::vector<MicroOp> &out) const
+{
+    PRI_ASSERT(!blk.insts.empty(), "empty basic block");
+    for (size_t i = 0; i < blk.insts.size(); ++i) {
+        out.push_back(compileInst(blk.insts[i], blk,
+                                  i + 1 == blk.insts.size()));
+    }
+}
+
+} // namespace pri::workload::trace

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Basic-block to micro-trace compiler.
+ *
+ * Resolves everything about a StaticInst that does not depend on the
+ * dynamic instance: dispatch kind, branch targets (as both PCs and
+ * block ids), stream indices, and the pre-folded hash prefixes of
+ * every draw the generators can make (gen_params.hh). Compilation is
+ * O(static instructions) and runs once per program via the
+ * TraceCache; correctness is pinned by the byte-identity tests in
+ * tests/test_trace_cache.cpp.
+ */
+
+#ifndef PRI_WORKLOAD_TRACE_BLOCK_COMPILER_HH
+#define PRI_WORKLOAD_TRACE_BLOCK_COMPILER_HH
+
+#include <vector>
+
+#include "workload/program.hh"
+#include "workload/trace/micro_op.hh"
+
+namespace pri::workload::trace
+{
+
+/** Compiles one program's basic blocks into MicroOp arrays. */
+class BlockCompiler
+{
+  public:
+    explicit BlockCompiler(const SyntheticProgram &program);
+
+    /** Append block @p blk's MicroOps (one per StaticInst) to @p out. */
+    void compileBlock(const BasicBlock &blk,
+                      std::vector<MicroOp> &out) const;
+
+  private:
+    MicroOp compileInst(const StaticInst &si, const BasicBlock &blk,
+                        bool last) const;
+
+    const SyntheticProgram &prog;
+    uint64_t seed;
+};
+
+} // namespace pri::workload::trace
+
+#endif // PRI_WORKLOAD_TRACE_BLOCK_COMPILER_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The pre-decoded micro-op record replayed by the traced front end.
+ *
+ * One MicroOp is the fully-resolved form of one StaticInst: operation
+ * class and register ids copied through, branch targets resolved to
+ * both PCs and block ids, and — the performance core of the design —
+ * every hash draw the value/outcome/address generators will ever make
+ * for this instruction pre-folded down to a single splitMix64 round
+ * (see gen_params.hh). A MicroTrace is the flat, contiguous array of
+ * MicroOps for one basic block; the Walker replays it with a pointer
+ * bump and a switch on OpKind (DESIGN.md §13).
+ *
+ * Records are immutable after compilation and shared read-only across
+ * every walker (and every sweep worker) using the same program.
+ */
+
+#ifndef PRI_WORKLOAD_TRACE_MICRO_OP_HH
+#define PRI_WORKLOAD_TRACE_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "isa/op_class.hh"
+#include "isa/reg.hh"
+
+namespace pri::workload::trace
+{
+
+/**
+ * Dispatch kind: collapses (op class, has-dst, dst class, has-mem,
+ * branch flavour) into one enum so the replay loop is a single
+ * jump-table switch. The partitioning mirrors exactly which
+ * generators the legacy decode path would invoke.
+ */
+enum class OpKind : uint8_t
+{
+    IntDst,     ///< integer-destination producer, no memory
+    FpDst,      ///< FP-destination producer, no memory
+    ZeroDst,    ///< dead-value hint: result is always 0
+    NoDst,      ///< no destination, no memory (e.g. nop)
+    LoadInt,    ///< memory read into an integer register
+    LoadFp,     ///< memory read into an FP register
+    Store,      ///< memory write, no destination
+    BranchCond, ///< conditional terminator: outcome drawn per instance
+    BranchJmp,  ///< unconditional jump/call: taken, baked target
+    BranchRet,  ///< return: taken, target from the walker call stack
+};
+
+/** Behaviour flags copied from the StaticInst plus trace layout. */
+enum : uint8_t
+{
+    kFlagCall = 1u << 0,
+    kFlagReturn = 1u << 1,
+    kFlagUncond = 1u << 2,
+    kFlagCorrelatable = 1u << 3,
+    kFlagLast = 1u << 4, ///< last op of its block (advance to successor)
+};
+
+/** No alternate stream (uint16_t form of StaticInst::altStream<0). */
+constexpr uint16_t kNoStream = 0xffff;
+
+struct MicroOp
+{
+    uint64_t pc = 0;
+
+    // ---- pre-folded hash prefixes ----
+    // Five role-shared slots: a given kind only ever reads the slot
+    // members of its own role (integer value, FP value, or branch),
+    // so the unions never mix active members. Slots 3/4 double as
+    // resolved branch PCs, which no value-generating kind reads.
+    union {
+        uint64_t preWidthSel = 0; ///< int: width-class vs fresh draw
+        uint64_t preFpZero;       ///< fp: zero-value draw
+        uint64_t preBias;         ///< branch: per-instance bias draw
+    };
+    union {
+        uint64_t preWidthJit = 0; ///< int: +-2 width jitter
+        uint64_t preFpExp;        ///< fp: exponent draw
+        uint64_t preCorrSel;      ///< branch: correlated-instance draw
+    };
+    union {
+        uint64_t preWidthNew = 0; ///< int: fresh CDF width draw
+        uint64_t preFpSig;        ///< fp: significand draw
+        uint64_t preCorrOut;      ///< branch: correlated outcome draw
+    };
+    union {
+        uint64_t preMag = 0;      ///< int: magnitude draw
+        uint64_t preFpSign;       ///< fp: sign draw
+        uint64_t takenTargetPc;   ///< branch: resolved taken-target PC
+    };
+    union {
+        uint64_t preNeg = 0;      ///< int: sign draw (also 1-bit case)
+        uint64_t preFpTriv;       ///< fp: trivial-significand draw
+        uint64_t fallThroughPc;   ///< branch: resolved fall-through PC
+    };
+    // Memory-op slots (loads use these *and* a value role above).
+    uint64_t preStreamSel = 0;    ///< mem: alt-stream selection draw
+    union {
+        uint64_t preAddr = 0;     ///< mem: random-offset draw
+        double bias;              ///< cond branch: taken probability
+    };
+    uint64_t preAddrCold = 0;     ///< mem: hot/cold region draw
+
+    uint32_t staticId = 0;
+    uint32_t takenBlock = 0xffffffff;   ///< kNoBlock when not baked
+    uint32_t fallthroughBlock = 0xffffffff;
+    uint16_t stream = kNoStream;        ///< ProgramTraces::streams idx
+    uint16_t altStream = kNoStream;
+
+    isa::RegId dst = isa::noReg();
+    isa::RegId src1 = isa::noReg();
+    isa::RegId src2 = isa::noReg();
+    isa::OpClass cls = isa::OpClass::Nop;
+    OpKind kind = OpKind::NoDst;
+    uint8_t flags = 0;
+    uint8_t widthClass = 32;
+};
+
+// Replay walks arrays of these; keep the record within two cache
+// lines so a typical ~6-op block stays under one page of traffic.
+static_assert(sizeof(MicroOp) <= 128, "MicroOp grew past 2 lines");
+
+} // namespace pri::workload::trace
+
+#endif // PRI_WORKLOAD_TRACE_MICRO_OP_HH

@@ -1,0 +1,167 @@
+#include "workload/trace/trace_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hashing.hh"
+#include "common/logging.hh"
+#include "workload/gen_params.hh"
+#include "workload/trace/block_compiler.hh"
+
+namespace pri::workload::trace
+{
+
+namespace
+{
+
+uint64_t
+mixDouble(uint64_t h, double v)
+{
+    return hashCombine(h, std::bit_cast<uint64_t>(v));
+}
+
+} // namespace
+
+uint64_t
+programFingerprint(const SyntheticProgram &prog)
+{
+    const auto &p = prog.profile();
+    uint64_t h = hashCombine(0x7472616365ULL /* "trace" */,
+                             prog.seed(), prog.numBlocks());
+    h = hashCombine(h, prog.numStaticInsts());
+
+    // Every scalar the replay generators compare against.
+    h = mixDouble(h, p.fracNegative);
+    h = mixDouble(h, p.fpFracZero);
+    h = mixDouble(h, p.fpFracSigTrivialNonZero);
+    h = mixDouble(h, p.randomAccessFrac);
+    h = mixDouble(h, p.branchCorrelatedFrac);
+    for (unsigned bits = 1; bits <= 64; ++bits)
+        h = mixDouble(h, prog.widthCdf().at(bits));
+
+    for (const MemStream &st : prog.streams()) {
+        h = hashCombine(h, st.base, st.bytes);
+        h = hashCombine(h, st.random ? 1 : 0);
+    }
+
+    for (uint32_t b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &blk = prog.block(b);
+        h = hashCombine(h, blk.startPc, blk.fallthrough);
+        for (const StaticInst &si : blk.insts) {
+            h = hashCombine(h, si.id, si.pc);
+            h = hashCombine(h, static_cast<uint64_t>(si.cls),
+                            (uint64_t{si.dst.flat()} << 32) |
+                                (uint64_t{si.src1.flat()} << 16) |
+                                si.src2.flat());
+            h = hashCombine(h,
+                            std::bit_cast<uint32_t>(si.memStream),
+                            std::bit_cast<uint32_t>(si.altStream));
+            h = hashCombine(h, si.takenBlock,
+                            std::bit_cast<uint32_t>(si.bias));
+            h = hashCombine(h,
+                            (uint64_t{si.isCall} << 5) |
+                                (uint64_t{si.isReturn} << 4) |
+                                (uint64_t{si.isUncond} << 3) |
+                                (uint64_t{si.correlatable} << 2) |
+                                (uint64_t{si.isDeadHint} << 1),
+                            si.widthClass);
+        }
+    }
+    return h;
+}
+
+ProgramTraces::ProgramTraces(const SyntheticProgram &prog)
+{
+    const auto &p = prog.profile();
+    fracNegative = p.fracNegative;
+    fpFracZero = p.fpFracZero;
+    fpFracSigTrivialNonZero = p.fpFracSigTrivialNonZero;
+    randomAccessFrac = p.randomAccessFrac;
+    branchCorrelatedFrac = p.branchCorrelatedFrac;
+    fp = programFingerprint(prog);
+    entryPc_ = prog.block(prog.entry().block).startPc;
+
+    const size_t nb = prog.numBlocks();
+    blockFirst.resize(nb);
+    startPcs.resize(nb);
+    ops_.reserve(prog.numStaticInsts());
+    const BlockCompiler compiler(prog);
+    for (uint32_t b = 0; b < nb; ++b) {
+        const BasicBlock &blk = prog.block(b);
+        blockFirst[b] = static_cast<uint32_t>(ops_.size());
+        startPcs[b] = blk.startPc;
+        compiler.compileBlock(blk, ops_);
+    }
+    PRI_ASSERT(ops_.size() == prog.numStaticInsts());
+
+    streams_.reserve(prog.streams().size());
+    for (const MemStream &st : prog.streams()) {
+        TraceStream ts;
+        ts.base = st.base;
+        ts.hotWords =
+            std::min(st.bytes, genp::kHotRegionBytes) >> 3;
+        ts.coldWords = st.bytes >> 3;
+        ts.seqMask = st.bytes - 1;
+        ts.random = st.random;
+        streams_.push_back(ts);
+    }
+}
+
+TraceCache &
+TraceCache::global()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<const ProgramTraces>
+TraceCache::acquire(const SyntheticProgram &prog)
+{
+    const uint64_t key = programFingerprint(prog);
+    std::lock_guard<std::mutex> lock(mu);
+    if (auto it = entries.find(key); it != entries.end()) {
+        ++nShared;
+        return it->second;
+    }
+    if (entries.size() >= kMaxPrograms) {
+        // Rare wholesale trim (fuzzers draw fresh seeds forever).
+        // Live walkers hold shared_ptrs, so nothing is invalidated.
+        nEvicted += entries.size();
+        entries.clear();
+    }
+    auto traces = std::make_shared<const ProgramTraces>(prog);
+    ++nCompiled;
+    nBlocks += traces->numBlocks();
+    nOps += traces->numOps();
+    entries.emplace(key, traces);
+    return traces;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s;
+    s.programsCompiled = nCompiled;
+    s.programsShared = nShared;
+    s.programsEvicted = nEvicted;
+    s.blocksCompiled = nBlocks;
+    s.microOps = nOps;
+    for (const auto &[key, traces] : entries)
+        s.traceBytes += traces->traceBytes();
+    s.opsReplayed = opsReplayed.load(std::memory_order_relaxed);
+    s.opsLegacyDecoded = opsLegacy.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+TraceCache::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    entries.clear();
+    nCompiled = nShared = nEvicted = nBlocks = nOps = 0;
+    opsReplayed.store(0, std::memory_order_relaxed);
+    opsLegacy.store(0, std::memory_order_relaxed);
+}
+
+} // namespace pri::workload::trace

@@ -5,49 +5,33 @@
 #include "common/bitutils.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "workload/gen_params.hh"
+#include "workload/trace/trace_cache.hh"
 
 namespace pri::workload
 {
 
-namespace
+using namespace genp;
+
+Walker::Walker(const SyntheticProgram &program,
+               const trace::ProgramTraces *traces)
+    : prog(program), seed(program.seed()), loc(program.entry()),
+      tr(traces),
+      cur(traces != nullptr ? traces->blockOps(loc.block) + loc.idx
+                            : nullptr)
 {
+    PRI_ASSERT(traces == nullptr ||
+                   traces->fingerprint() ==
+                       trace::programFingerprint(program),
+               "walker given traces compiled from another program");
+}
 
-// Independent hash salts, one per random decision.
-constexpr uint64_t kSaltWidthSel = 0x77d1;
-constexpr uint64_t kSaltWidthJit = 0x77d2;
-constexpr uint64_t kSaltWidthNew = 0x77d3;
-constexpr uint64_t kSaltMag = 0x77d4;
-constexpr uint64_t kSaltNeg = 0x77d5;
-constexpr uint64_t kSaltFpZero = 0xf901;
-constexpr uint64_t kSaltFpExp = 0xf902;
-constexpr uint64_t kSaltFpSig = 0xf903;
-constexpr uint64_t kSaltFpSign = 0xf904;
-constexpr uint64_t kSaltFpTriv = 0xf905;
-constexpr uint64_t kSaltAddr = 0xadd1;
-constexpr uint64_t kSaltAddrCold = 0xadd2;
-constexpr uint64_t kSaltStreamSel = 0xadd3;
-
-// Random streams have two-level locality: most accesses fall in a
-// hot region (temporal reuse the DL1 can capture), a fixed fraction
-// go cold anywhere in the working set. Real pointer-chasing codes
-// show exactly this skew; without it any working set larger than
-// the DL1 would miss on every access.
-constexpr double kColdAccessFrac = 0.30;
-constexpr uint64_t kHotRegionBytes = 8 * 1024;
-constexpr uint64_t kSaltCorrSel = 0xbc01;
-constexpr uint64_t kSaltCorrOut = 0xbc02;
-constexpr uint64_t kSaltBias = 0xbc03;
-
-// History bits used for correlated branch outcomes. Kept narrow
-// (64 patterns per branch) so a 4k-entry gshare can learn the
-// pattern tables without catastrophic aliasing.
-constexpr uint64_t kHistMask = 0x3f;
-
-} // namespace
-
-Walker::Walker(const SyntheticProgram &program)
-    : prog(program), seed(program.seed()), loc(program.entry())
+Walker::~Walker()
 {
+    if (nReplayed != 0 || nLegacyDecoded != 0) {
+        trace::TraceCache::global().noteWalkerOps(nReplayed,
+                                                  nLegacyDecoded);
+    }
 }
 
 uint64_t
@@ -55,7 +39,8 @@ Walker::genIntValue(const StaticInst &si, uint64_t g) const
 {
     const auto &p = prog.profile();
     unsigned w;
-    if (hashUniform(seed ^ kSaltWidthSel, si.id, g) < 0.7) {
+    if (hashUniform(seed ^ kSaltWidthSel, si.id, g) <
+        kWidthStaySelFrac) {
         // Stay near this static instruction's width class.
         const int jit = static_cast<int>(
             hashRange(5, seed ^ kSaltWidthJit, si.id, g)) - 2;
@@ -69,7 +54,7 @@ Walker::genIntValue(const StaticInst &si, uint64_t g) const
 
     if (w == 1) {
         // 1-bit two's complement: 0 or -1; zeroes dominate.
-        return hashUniform(seed ^ kSaltNeg, si.id, g) < 0.05
+        return hashUniform(seed ^ kSaltNeg, si.id, g) < kOneBitNegFrac
             ? ~uint64_t{0} : 0;
     }
     const uint64_t base = uint64_t{1} << (w - 2);
@@ -89,8 +74,8 @@ Walker::genFpValue(const StaticInst &si, uint64_t g) const
         return 0; // +0.0: the inlineable case
 
     // A plausible non-zero normal double.
-    const uint64_t exp = 1003 +
-        hashRange(30, seed ^ kSaltFpExp, si.id, g); // [2^-20, 2^9]
+    const uint64_t exp = kFpExpBase +
+        hashRange(kFpExpRange, seed ^ kSaltFpExp, si.id, g);
     uint64_t sig;
     if (hashUniform(seed ^ kSaltFpTriv, si.id, g) <
             p.fpFracSigTrivialNonZero) {
@@ -100,7 +85,8 @@ Walker::genFpValue(const StaticInst &si, uint64_t g) const
             ((uint64_t{1} << 52) - 1);
     }
     const uint64_t sign =
-        hashUniform(seed ^ kSaltFpSign, si.id, g) < 0.3 ? 1 : 0;
+        hashUniform(seed ^ kSaltFpSign, si.id, g) < kFpSignNegFrac
+            ? 1 : 0;
     return (sign << 63) | (exp << 52) | sig;
 }
 
@@ -147,16 +133,91 @@ Walker::branchOutcome(const StaticInst &si, uint64_t g) const
     return hashUniform(seed ^ kSaltBias, si.id, g) < si.bias;
 }
 
+// --- pre-folded replay generators -------------------------------
+// Each is the fold of its legacy twin above: identical draws in the
+// same order, with the (seed, salt, id) rounds baked into the
+// MicroOp prefixes (gen_params.hh pins the folding identity).
+
 uint64_t
-Walker::currentPc() const
+Walker::replayIntValue(const trace::MicroOp &op, uint64_t g) const
 {
-    return prog.block(loc.block).insts.at(loc.idx).pc;
+    unsigned w;
+    if (foldUniform(op.preWidthSel, g) < kWidthStaySelFrac) {
+        const int jit =
+            static_cast<int>(foldRange(5, op.preWidthJit, g)) - 2;
+        const int bw = static_cast<int>(op.widthClass) + jit;
+        w = static_cast<unsigned>(std::clamp(bw, 1, 64));
+    } else {
+        w = prog.widthCdf().sample(foldUniform(op.preWidthNew, g));
+    }
+
+    if (w == 1) {
+        return foldUniform(op.preNeg, g) < kOneBitNegFrac
+            ? ~uint64_t{0} : 0;
+    }
+    const uint64_t base = uint64_t{1} << (w - 2);
+    const uint64_t mag = base + foldRange(base, op.preMag, g);
+    const bool neg = foldUniform(op.preNeg, g) < tr->fracNegative;
+    return neg ? static_cast<uint64_t>(-static_cast<int64_t>(mag) - 1)
+               : mag;
+}
+
+uint64_t
+Walker::replayFpValue(const trace::MicroOp &op, uint64_t g) const
+{
+    if (foldUniform(op.preFpZero, g) < tr->fpFracZero)
+        return 0;
+
+    const uint64_t exp =
+        kFpExpBase + foldRange(kFpExpRange, op.preFpExp, g);
+    uint64_t sig;
+    if (foldUniform(op.preFpTriv, g) < tr->fpFracSigTrivialNonZero) {
+        sig = 0;
+    } else {
+        sig = foldHash(op.preFpSig, g) & ((uint64_t{1} << 52) - 1);
+    }
+    const uint64_t sign =
+        foldUniform(op.preFpSign, g) < kFpSignNegFrac ? 1 : 0;
+    return (sign << 63) | (exp << 52) | sig;
+}
+
+uint64_t
+Walker::replayAddress(const trace::MicroOp &op, uint64_t g) const
+{
+    const trace::TraceStream *st = &tr->streams()[op.stream];
+    if (op.altStream != trace::kNoStream &&
+        foldUniform(op.preStreamSel, g) < tr->randomAccessFrac) {
+        st = &tr->streams()[op.altStream];
+    }
+    if (st->random) {
+        const uint64_t words =
+            foldUniform(op.preAddrCold, g) < kColdAccessFrac
+                ? st->coldWords : st->hotWords;
+        return st->base + (foldRange(words, op.preAddr, g) << 3);
+    }
+    return st->base + (((g >> 4) << 3) & st->seqMask);
+}
+
+bool
+Walker::replayBranchOutcome(const trace::MicroOp &op,
+                            uint64_t g) const
+{
+    if ((op.flags & trace::kFlagCorrelatable) != 0) {
+        const uint64_t h = hist & kHistMask;
+        if (foldUniform(op.preCorrSel, h) < tr->branchCorrelatedFrac)
+            return foldHash(op.preCorrOut, h) & 1;
+    }
+    return foldUniform(op.preBias, g) < op.bias;
 }
 
 WInst
 Walker::next()
 {
+    if (cur != nullptr)
+        return nextTraced();
+
     PRI_ASSERT(!pending, "next() called with an unsteered branch");
+    ++nLegacyDecoded;
 
     const BasicBlock &blk = prog.block(loc.block);
     const StaticInst &si = blk.insts.at(loc.idx);
@@ -209,6 +270,79 @@ Walker::next()
     return wi;
 }
 
+WInst
+Walker::nextTraced()
+{
+    PRI_ASSERT(!pending, "next() called with an unsteered branch");
+    ++nReplayed;
+
+    const trace::MicroOp &op = *cur;
+    const uint64_t g = gidx++;
+
+    WInst wi;
+    wi.seq = seqCounter++;
+    wi.staticId = op.staticId;
+    wi.pc = op.pc;
+    wi.cls = op.cls;
+    wi.dst = op.dst;
+    wi.src1 = op.src1;
+    wi.src2 = op.src2;
+
+    switch (op.kind) {
+      case trace::OpKind::IntDst:
+        wi.resultValue = replayIntValue(op, g);
+        break;
+      case trace::OpKind::FpDst:
+        wi.resultValue = replayFpValue(op, g);
+        break;
+      case trace::OpKind::ZeroDst:
+      case trace::OpKind::NoDst:
+        break;
+      case trace::OpKind::LoadInt:
+        wi.resultValue = replayIntValue(op, g);
+        wi.memAddr = replayAddress(op, g);
+        break;
+      case trace::OpKind::LoadFp:
+        wi.resultValue = replayFpValue(op, g);
+        wi.memAddr = replayAddress(op, g);
+        break;
+      case trace::OpKind::Store:
+        wi.memAddr = replayAddress(op, g);
+        break;
+      case trace::OpKind::BranchCond:
+      case trace::OpKind::BranchJmp:
+      case trace::OpKind::BranchRet:
+        wi.isCall = (op.flags & trace::kFlagCall) != 0;
+        wi.isReturn = (op.flags & trace::kFlagReturn) != 0;
+        wi.isUncond = (op.flags & trace::kFlagUncond) != 0;
+        wi.fallThrough = op.fallThroughPc;
+        if (op.kind == trace::OpKind::BranchRet) {
+            wi.taken = true;
+            wi.actualTarget = stack.empty()
+                ? tr->entryPc()
+                : tr->startPc(stack.back().block);
+        } else if (op.kind == trace::OpKind::BranchJmp) {
+            wi.taken = true;
+            wi.actualTarget = op.takenTargetPc;
+        } else {
+            wi.taken = replayBranchOutcome(op, g);
+            wi.actualTarget = op.takenTargetPc;
+        }
+        pending = true;
+        return wi;
+    }
+
+    // Advance within the block / fall through to the successor.
+    if ((op.flags & trace::kFlagLast) != 0) {
+        loc = ProgLoc{op.fallthroughBlock, 0};
+        cur = tr->blockOps(op.fallthroughBlock);
+    } else {
+        ++loc.idx;
+        ++cur;
+    }
+    return wi;
+}
+
 void
 Walker::steer(const WInst &branch, bool taken, uint64_t target_pc)
 {
@@ -217,6 +351,35 @@ Walker::steer(const WInst &branch, bool taken, uint64_t target_pc)
 
     if (!branch.isUncond)
         hist = (hist << 1) | (taken ? 1 : 0);
+
+    if (cur != nullptr) {
+        // Traced fast path: the branch's successors were resolved at
+        // compile time; only foreign targets (wrong-path steers to
+        // some other block's start, e.g. under fault injection) fall
+        // back to the PC map. Identical state updates to the legacy
+        // path below.
+        const trace::MicroOp &op = *cur;
+        if (branch.isCall) {
+            stack.push_back(ProgLoc{op.fallthroughBlock, 0});
+        } else if (branch.isReturn && !stack.empty()) {
+            const ProgLoc ret = stack.back();
+            stack.pop_back();
+            if (taken && target_pc == tr->startPc(ret.block)) {
+                loc = ret; // pushed as {block, 0}
+                cur = tr->blockOps(ret.block);
+                return;
+            }
+        }
+        if (!taken)
+            loc = ProgLoc{op.fallthroughBlock, 0};
+        else if (target_pc == op.takenTargetPc &&
+                 op.takenBlock != kNoBlock)
+            loc = ProgLoc{op.takenBlock, 0};
+        else
+            loc = prog.locateBlockStart(target_pc);
+        cur = tr->blockOps(loc.block) + loc.idx;
+        return;
+    }
 
     const BasicBlock &blk = prog.block(loc.block);
     if (branch.isCall) {
@@ -259,6 +422,8 @@ Walker::restore(const WalkerCkpt &ckpt)
     stack.assign(ckpt.stack.begin(), ckpt.stack.end());
     gidx = ckpt.gidx;
     hist = ckpt.hist;
+    if (tr != nullptr)
+        cur = tr->blockOps(loc.block) + loc.idx;
     // The branch at `loc` has already been generated; the core must
     // immediately steer() it down the actual path.
     pending = true;

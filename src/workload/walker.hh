@@ -10,6 +10,14 @@
  * the actual outcome. All value/outcome/address randomness is a pure
  * function of walker state that is saved in the checkpoint, so the
  * committed path is identical regardless of timing (DESIGN.md §5).
+ *
+ * Two decode paths produce byte-identical streams (DESIGN.md §13):
+ * the legacy path re-derives everything from the StaticInst per
+ * dynamic instance, while the traced path (constructed with compiled
+ * ProgramTraces) replays flat pre-decoded MicroOp arrays with a
+ * pointer bump and single-round pre-folded hash draws. Walker state
+ * (loc, stack, gidx, hist) and checkpoint/steer/restore semantics are
+ * identical in both modes.
  */
 
 #ifndef PRI_WORKLOAD_WALKER_HH
@@ -19,10 +27,16 @@
 #include <vector>
 
 #include "workload/program.hh"
+#include "workload/trace/micro_op.hh"
 #include "workload/winst.hh"
 
 namespace pri::workload
 {
+
+namespace trace
+{
+class ProgramTraces;
+} // namespace trace
 
 /** Restorable walker state, captured at every fetched branch. */
 struct WalkerCkpt
@@ -37,7 +51,19 @@ struct WalkerCkpt
 class Walker
 {
   public:
-    explicit Walker(const SyntheticProgram &program);
+    /**
+     * @p traces, when non-null, switches the walker to trace replay;
+     * it must be the compiled form of @p program (same fingerprint)
+     * and must outlive the walker. Null selects the legacy decode
+     * path (the golden model always uses it, so golden-checked runs
+     * cross-check the two paths instruction by instruction).
+     */
+    explicit Walker(const SyntheticProgram &program,
+                    const trace::ProgramTraces *traces = nullptr);
+    ~Walker();
+
+    Walker(const Walker &) = delete;
+    Walker &operator=(const Walker &) = delete;
 
     /**
      * Generate the instruction at the current location. Non-branches
@@ -57,8 +83,16 @@ class Walker
     /** True when next() returned a branch that has not been steered. */
     bool branchPending() const { return pending; }
 
-    /** PC of the instruction next() will return (fetch address). */
-    uint64_t currentPc() const;
+    /** PC of the instruction next() will return (fetch address).
+     *  Called once per fetch cycle; the traced form is a single
+     *  load off the current MicroOp. */
+    uint64_t
+    currentPc() const
+    {
+        return cur != nullptr
+            ? cur->pc
+            : prog.block(loc.block).insts.at(loc.idx).pc;
+    }
 
     /** Capture restorable state (legal only while a branch pends). */
     WalkerCkpt checkpoint() const;
@@ -76,6 +110,9 @@ class Walker
 
     const SyntheticProgram &program() const { return prog; }
 
+    /** Is this walker replaying compiled micro-traces? */
+    bool traced() const { return cur != nullptr; }
+
     // --- value generators (exposed for tests and the Figure 2
     //     operand-significance study) ---
 
@@ -90,6 +127,17 @@ class Walker
     /** Resolve the actual outcome of a conditional branch. */
     bool branchOutcome(const StaticInst &si, uint64_t g) const;
 
+    /** Trace-replay twin of next(): pointer bump + kind dispatch. */
+    WInst nextTraced();
+
+    // Pre-folded replay generators (byte-identical to the ones above
+    // by the gen_params.hh folding identity).
+    uint64_t replayIntValue(const trace::MicroOp &op, uint64_t g) const;
+    uint64_t replayFpValue(const trace::MicroOp &op, uint64_t g) const;
+    uint64_t replayAddress(const trace::MicroOp &op, uint64_t g) const;
+    bool replayBranchOutcome(const trace::MicroOp &op,
+                             uint64_t g) const;
+
     const SyntheticProgram &prog;
     uint64_t seed;
 
@@ -99,6 +147,14 @@ class Walker
     uint64_t hist = 0;
     uint64_t seqCounter = 0; ///< monotonic; never rolled back
     bool pending = false;
+
+    // --- trace replay state ---
+    const trace::ProgramTraces *tr = nullptr;
+    /** The MicroOp at loc; kept in lock-step with (loc.block, loc.idx)
+     *  by next/steer/restore. Null on the legacy path. */
+    const trace::MicroOp *cur = nullptr;
+    uint64_t nReplayed = 0;     ///< flushed to TraceCache stats
+    uint64_t nLegacyDecoded = 0;
 };
 
 } // namespace pri::workload

@@ -80,6 +80,11 @@ drawPoint(uint64_t seed, uint64_t index)
     // the cycle budget turns any wedge the fuzzer ever finds into a
     // structured per-point failure instead of a hung CI job.
     p.watchdog = pick(10, 2) != 0;
+    // Front-end axis: traced replay vs legacy decode. The golden
+    // model always decodes legacy, so every traced point is a full
+    // traced-vs-legacy stream cross-check. (Salts 11/12 belong to
+    // the retry-policy test below.)
+    p.tracedFrontEnd = pick(13, 2) != 0;
     p.cycleBudget = 2'000'000;
     p.warmupInsts = 2000;
     p.measureInsts = 8000;
@@ -103,7 +108,8 @@ TEST(ConfigFuzz, RandomConfigsStayGoldenClean)
                      " narrow " +
                      std::to_string(p.narrowBitsOverride) +
                      (p.pooledCheckpoints ? " pooled" : " legacy") +
-                     (p.eventWakeup ? " event" : " poll"));
+                     (p.eventWakeup ? " event" : " poll") +
+                     (p.tracedFrontEnd ? " traced" : " decoded"));
         const auto r = sim::simulate(p);
         EXPECT_EQ(r.goldenChecked, r.committedTotal);
         EXPECT_GE(r.goldenChecked,
