@@ -74,6 +74,11 @@ struct Options
 {
     Budget budget;
     unsigned jobs = 0;     ///< worker threads; 0 = hardware_concurrency
+    /** --batch K: sweep points simulated as lanes of one shared-
+     *  workload batch per worker (sim/batch/sweep_batch.hh). 0 =
+     *  auto (defaultBatchLanes); 1 = serial path. Byte-identical
+     *  results either way; PRI_LEGACY_BATCH=1 forces 1. */
+    unsigned batchLanes = 0;
     std::string jsonPath;  ///< --json FILE: machine-readable results
     std::string journalPath; ///< --journal FILE: resumable sweeps
     uint64_t timeoutMs = 0;  ///< --timeout-ms N: per-run wall budget
@@ -91,6 +96,7 @@ struct Resilience
 {
     sim::RetryPolicy retry;
     uint64_t timeoutMs = 0;
+    unsigned batchLanes = 0; ///< 0 = auto
     std::unique_ptr<sim::SweepJournal> journal;
 };
 
@@ -116,6 +122,10 @@ parseOptions(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             o.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--batch") == 0 &&
+                   i + 1 < argc) {
+            o.batchLanes =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             o.jsonPath = argv[++i];
@@ -137,6 +147,7 @@ parseOptions(int argc, char **argv)
     auto &rz = detail::resilience();
     rz.retry = sim::RetryPolicy{o.retries + 1, o.backoffMs};
     rz.timeoutMs = o.timeoutMs;
+    rz.batchLanes = o.batchLanes;
     if (!o.journalPath.empty() && rz.journal == nullptr) {
         rz.journal =
             std::make_unique<sim::SweepJournal>(o.journalPath);
@@ -211,6 +222,7 @@ inline sim::SimulationRunner
 makeRunner(unsigned jobs)
 {
     sim::SimulationRunner runner(jobs);
+    runner.setBatchLanes(resilience().batchLanes);
     runner.setRetryPolicy(resilience().retry);
     runner.setJournal(resilience().journal.get());
     return runner;
@@ -323,6 +335,44 @@ prefetchGrid(const std::vector<std::string> &benches,
                 for (unsigned pr : pregsList)
                     pts.push_back(Point{b, w, s, pr});
     prefetchPoints(pts, opts);
+}
+
+inline void writeJson(const Options &opts);
+
+/**
+ * Declarative form of the sweep-driver skeleton every figure
+ * harness used to open-code: banner, full experiment grid, a
+ * per-width table emitter, JSON output.
+ */
+struct SweepGrid
+{
+    /** Banner printed verbatim before anything runs. */
+    const char *banner = "";
+    std::vector<std::string> benches;
+    std::vector<unsigned> widths;
+    std::vector<sim::Scheme> schemes;
+    std::vector<unsigned> pregsList = {64};
+};
+
+/**
+ * The shared sweep-driver body: print the banner, prefetch the full
+ * grid through the thread pool (batched when --batch allows), call
+ * @p emit_width once per grid width — in declaration order, with
+ * every point already cached so the printing code never simulates —
+ * then write the JSON sink. Returns the harness exit status (0).
+ */
+template <class EmitWidth>
+inline int
+runSweepGrid(const SweepGrid &grid, const Options &opts,
+             EmitWidth &&emit_width)
+{
+    std::printf("%s", grid.banner);
+    prefetchGrid(grid.benches, grid.widths, grid.schemes, opts,
+                 grid.pregsList);
+    for (unsigned w : grid.widths)
+        emit_width(w);
+    writeJson(opts);
+    return 0;
 }
 
 /** Run one configuration, averaged over kSeeds (memoized). */

@@ -54,12 +54,12 @@ int
 main(int argc, char **argv)
 {
     const auto opts = pri::bench::parseOptions(argc, argv);
-    std::printf("=== Figure 1: average register lifetime, base "
-                "machine, 64 PR ===\n\n");
-        pri::bench::prefetchGrid(pri::bench::intBenchmarks(), {4, 8},
-                             {pri::sim::Scheme::Base}, opts);
-    runWidth(4, opts);
-    runWidth(8, opts);
-    pri::bench::writeJson(opts);
-    return 0;
+    return pri::bench::runSweepGrid(
+        pri::bench::SweepGrid{
+            "=== Figure 1: average register lifetime, base "
+            "machine, 64 PR ===\n\n",
+            pri::bench::intBenchmarks(),
+            {4, 8},
+            {pri::sim::Scheme::Base}},
+        opts, [&](unsigned w) { runWidth(w, opts); });
 }

@@ -68,17 +68,15 @@ int
 main(int argc, char **argv)
 {
     const auto opts = pri::bench::parseOptions(argc, argv);
-    std::printf("=== Figure 8: reduction in register lifetime ===\n"
-                "(paper: PRI collapses the dominant last-read->"
-                "release phase; PRI+ER trims further)\n\n");
-        pri::bench::prefetchGrid(
-        pri::bench::intBenchmarks(), {4, 8},
-        {pri::sim::Scheme::Base,
-         pri::sim::Scheme::PriRefcountCkptcount,
-         pri::sim::Scheme::PriPlusEr},
-        opts);
-    runWidth(4, opts);
-    runWidth(8, opts);
-    pri::bench::writeJson(opts);
-    return 0;
+    return pri::bench::runSweepGrid(
+        pri::bench::SweepGrid{
+            "=== Figure 8: reduction in register lifetime ===\n"
+            "(paper: PRI collapses the dominant last-read->"
+            "release phase; PRI+ER trims further)\n\n",
+            pri::bench::intBenchmarks(),
+            {4, 8},
+            {pri::sim::Scheme::Base,
+             pri::sim::Scheme::PriRefcountCkptcount,
+             pri::sim::Scheme::PriPlusEr}},
+        opts, [&](unsigned w) { runWidth(w, opts); });
 }

@@ -52,16 +52,15 @@ int
 main(int argc, char **argv)
 {
     const auto opts = pri::bench::parseOptions(argc, argv);
-    std::printf("=== Figure 9: register file sensitivity study ===\n"
-                "(paper: gains flatten beyond ~64-72 registers at "
-                "4-wide; the 8-wide machine keeps scaling)\n\n");
-    pri::bench::prefetchGrid(
-        pri::bench::intBenchmarks(), {4, 8},
-        {pri::sim::Scheme::Base}, opts,
-        std::vector<unsigned>(std::begin(kSizes),
-                              std::end(kSizes)));
-    runWidth(4, opts);
-    runWidth(8, opts);
-    pri::bench::writeJson(opts);
-    return 0;
+    return pri::bench::runSweepGrid(
+        pri::bench::SweepGrid{
+            "=== Figure 9: register file sensitivity study ===\n"
+            "(paper: gains flatten beyond ~64-72 registers at "
+            "4-wide; the 8-wide machine keeps scaling)\n\n",
+            pri::bench::intBenchmarks(),
+            {4, 8},
+            {pri::sim::Scheme::Base},
+            std::vector<unsigned>(std::begin(kSizes),
+                                  std::end(kSizes))},
+        opts, [&](unsigned w) { runWidth(w, opts); });
 }

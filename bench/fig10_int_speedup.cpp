@@ -63,19 +63,18 @@ main(int argc, char **argv)
 {
     using namespace pri;
     const auto opts = bench::parseOptions(argc, argv);
-    std::printf("=== Figure 10: PRI speedup, integer benchmarks "
-                "===\n(paper averages: ER +3.6%%, PRI ref+ckpt "
-                "+7.3%% @4w / +14.8%% @8w, PRI+ER +8.3%%/+17.5%%, "
-                "InfPR +11%%/+39%%)\n\n");
-
     std::vector<sim::Scheme> schemes{sim::Scheme::Base};
     schemes.insert(schemes.end(), std::begin(kPanel),
                    std::end(kPanel));
-    bench::prefetchGrid(bench::intBenchmarks(), {4, 8}, schemes,
-                        opts);
-
-    runPanel(4, bench::intBenchmarks(), opts);
-    runPanel(8, bench::intBenchmarks(), opts);
-    bench::writeJson(opts);
-    return 0;
+    return bench::runSweepGrid(
+        bench::SweepGrid{
+            "=== Figure 10: PRI speedup, integer benchmarks "
+            "===\n(paper averages: ER +3.6%, PRI ref+ckpt "
+            "+7.3% @4w / +14.8% @8w, PRI+ER +8.3%/+17.5%, "
+            "InfPR +11%/+39%)\n\n",
+            bench::intBenchmarks(),
+            {4, 8},
+            schemes},
+        opts,
+        [&](unsigned w) { runPanel(w, bench::intBenchmarks(), opts); });
 }

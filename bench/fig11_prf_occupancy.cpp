@@ -51,17 +51,15 @@ int
 main(int argc, char **argv)
 {
     const auto opts = pri::bench::parseOptions(argc, argv);
-    std::printf("=== Figure 11: PRF occupancy, integer benchmarks "
-                "===\n(paper: ER/PRI/PRI+ER cut occupancy; the "
-                "reduction is smaller on the 8-wide machine due to "
-                "higher pressure)\n\n");
-    pri::bench::prefetchGrid(
-        pri::bench::intBenchmarks(), {4, 8},
-        std::vector<pri::sim::Scheme>(std::begin(kPanel),
-                                      std::end(kPanel)),
-        opts);
-    runWidth(4, opts);
-    runWidth(8, opts);
-    pri::bench::writeJson(opts);
-    return 0;
+    return pri::bench::runSweepGrid(
+        pri::bench::SweepGrid{
+            "=== Figure 11: PRF occupancy, integer benchmarks "
+            "===\n(paper: ER/PRI/PRI+ER cut occupancy; the "
+            "reduction is smaller on the 8-wide machine due to "
+            "higher pressure)\n\n",
+            pri::bench::intBenchmarks(),
+            {4, 8},
+            std::vector<pri::sim::Scheme>(std::begin(kPanel),
+                                          std::end(kPanel))},
+        opts, [&](unsigned w) { runWidth(w, opts); });
 }

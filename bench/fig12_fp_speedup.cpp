@@ -61,19 +61,17 @@ main(int argc, char **argv)
 {
     using namespace pri;
     const auto opts = bench::parseOptions(argc, argv);
-    std::printf("=== Figure 12: PRI speedup, floating point "
-                "benchmarks ===\n(paper averages: PRI ref+ckpt "
-                "+12.0%% @4w / +25.2%% @8w, PRI+ER "
-                "+14.3%%/+35.3%%)\n\n");
-
     std::vector<sim::Scheme> schemes{sim::Scheme::Base};
     schemes.insert(schemes.end(), std::begin(kPanel),
                    std::end(kPanel));
-    bench::prefetchGrid(bench::fpBenchmarks(), {4, 8}, schemes,
-                        opts);
-
-    runPanel(4, opts);
-    runPanel(8, opts);
-    bench::writeJson(opts);
-    return 0;
+    return bench::runSweepGrid(
+        bench::SweepGrid{
+            "=== Figure 12: PRI speedup, floating point "
+            "benchmarks ===\n(paper averages: PRI ref+ckpt "
+            "+12.0% @4w / +25.2% @8w, PRI+ER "
+            "+14.3%/+35.3%)\n\n",
+            bench::fpBenchmarks(),
+            {4, 8},
+            schemes},
+        opts, [&](unsigned w) { runPanel(w, opts); });
 }

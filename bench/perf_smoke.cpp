@@ -27,6 +27,14 @@
  *     make zero steady-state heap allocations (compile-time allocs
  *     are allowed, replay allocs are not). Written to
  *     BENCH_trace.json.
+ *  6. Sweep batching: a fig10-shaped subset (scheme x width panel
+ *     over two workloads) through SimulationRunner with --batch 1
+ *     versus the default batch width, best-of-3 with the legs
+ *     interleaved, plus the batched-replay allocation gate: the
+ *     operator-new delta between two SweepBatch::drain()s that
+ *     differ only in measure length must be zero (one-time pool
+ *     growth cancels; anything left is per-instruction allocation
+ *     in the batched replay loop).
  *
  * Also prints a one-line comparison of the serial KIPS against the
  * committed BENCH_runner.json baseline when that file is present.
@@ -43,6 +51,7 @@
 
 #include "bench_util.hh"
 #include "core/core.hh"
+#include "sim/batch/sweep_batch.hh"
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 #include "workload/program.hh"
@@ -324,6 +333,86 @@ probeWalkerReplay(bool traced, const bench::Budget &budget)
     probe.mips =
         secs > 0 ? static_cast<double>(n) / secs / 1e6 : 0.0;
     return probe;
+}
+
+/** A fig10-shaped subset for the sweep-batch A/B: full scheme x
+ *  width panel over two workloads, one seed — every point of one
+ *  (benchmark, seed) shares a batch. */
+std::vector<sim::RunParams>
+makeBatchSubset(const bench::Budget &budget, uint64_t measure)
+{
+    const sim::Scheme schemes[] = {
+        sim::Scheme::Base,
+        sim::Scheme::EarlyRelease,
+        sim::Scheme::PriRefcountCkptcount,
+        sim::Scheme::PriRefcountLazy,
+        sim::Scheme::PriIdealCkptcount,
+        sim::Scheme::PriIdealLazy,
+        sim::Scheme::PriPlusEr,
+        sim::Scheme::InfinitePregs,
+    };
+    std::vector<sim::RunParams> pts;
+    for (const char *name : {"gcc", "gzip"}) {
+        for (unsigned width : {4u, 8u}) {
+            for (auto scheme : schemes) {
+                sim::RunParams p;
+                p.benchmark = name;
+                p.width = width;
+                p.scheme = scheme;
+                p.warmupInsts = budget.warmup;
+                p.measureInsts = measure;
+                p.seed = 11;
+                pts.push_back(std::move(p));
+            }
+        }
+    }
+    return pts;
+}
+
+/** One timed leg of the subset; returns points per second. */
+double
+timedBatchLeg(const std::vector<sim::RunParams> &grid,
+              unsigned lanes)
+{
+    sim::SimulationRunner runner(1);
+    runner.setBatchLanes(lanes);
+    const auto t0 = Clock::now();
+    const auto results = runner.run(grid);
+    const double secs = secondsSince(t0);
+    return secs > 0 && !results.empty()
+        ? static_cast<double>(grid.size()) / secs
+        : 0.0;
+}
+
+/** operator-new count across the drains of the subset at the given
+ *  measure length. */
+uint64_t
+batchDrainAllocs(const bench::Budget &budget, uint64_t measure,
+                 unsigned lanes, size_t *lanes_out)
+{
+    const auto pts = makeBatchSubset(budget, measure);
+    std::vector<size_t> pending(pts.size());
+    for (size_t i = 0; i < pending.size(); ++i)
+        pending[i] = i;
+    const auto groups = sim::formBatches(pts, pending, lanes);
+
+    uint64_t allocs = 0;
+    size_t covered = 0;
+    for (const auto &grp : groups) {
+        sim::SweepBatch sb(pts, grp);
+        sb.prepare();
+        const uint64_t a0 =
+            g_allocs.load(std::memory_order_relaxed);
+        sb.drain();
+        allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+        for (const auto &o : sb.finalize()) {
+            if (!o.ok())
+                fatal("batch alloc probe lane failed: {}", o.error);
+        }
+        covered += grp.indices.size();
+    }
+    *lanes_out = covered;
+    return allocs;
 }
 
 /** serialKips from the committed BENCH_runner.json, or 0. */
@@ -634,6 +723,54 @@ main(int argc, char **argv)
         std::fclose(f);
         std::printf("wrote BENCH_trace.json\n");
     }
+
+    std::printf("\n");
+
+    // Sweep batching: --batch 1 vs the default batch width on a
+    // fig10-shaped subset, legs interleaved, best of 3.
+    const unsigned lanes = sim::defaultBatchLanes();
+    const auto subset = makeBatchSubset(opts.budget,
+                                        opts.budget.measure);
+    double sweep_serial = 0.0, sweep_batched = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        sweep_serial =
+            std::max(sweep_serial, timedBatchLeg(subset, 1));
+        sweep_batched =
+            std::max(sweep_batched, timedBatchLeg(subset, lanes));
+    }
+
+    std::printf("%-28s %14s\n", "sweep batching", "points/sec");
+    std::printf("%-28s %14.1f\n", "serial (--batch 1)",
+                sweep_serial);
+    char blabel[48];
+    std::snprintf(blabel, sizeof(blabel), "batched (--batch %u)",
+                  lanes);
+    std::printf("%-28s %14.1f\n", blabel, sweep_batched);
+    std::printf("sweep-batch speedup: %.2fx over %zu points\n",
+                sweep_serial > 0 ? sweep_batched / sweep_serial
+                                 : 0.0,
+                subset.size());
+
+    // Batched-replay allocation gate: steady state as a delta, so
+    // one-time pool growth during the first instructions of a lane
+    // cancels out.
+    size_t lanes_short = 0, lanes_long = 0;
+    const uint64_t ba_short = batchDrainAllocs(
+        opts.budget, opts.budget.measure, lanes, &lanes_short);
+    const uint64_t ba_long = batchDrainAllocs(
+        opts.budget, opts.budget.measure * 2, lanes, &lanes_long);
+    const uint64_t batch_allocs =
+        ba_long > ba_short ? ba_long - ba_short : 0;
+    if (lanes_long != lanes_short || batch_allocs != 0) {
+        std::printf("FAIL: batched replay allocated %llu times "
+                    "across %zu lanes in the steady state\n",
+                    static_cast<unsigned long long>(batch_allocs),
+                    lanes_short);
+        return 1;
+    }
+    std::printf("batched replay: zero steady-state allocations "
+                "across %zu lanes\n",
+                lanes_short);
 
     const std::string json_path =
         opts.jsonPath.empty() ? "BENCH_runner.json" : opts.jsonPath;

@@ -1,0 +1,120 @@
+#include "arena.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace pri
+{
+
+namespace
+{
+
+constexpr size_t kHugePage = 2u << 20;
+
+thread_local LaneArena *tlsArena = nullptr;
+
+size_t
+roundUp(size_t v, size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+std::byte *
+allocSlab(size_t bytes)
+{
+    void *mem = nullptr;
+    if (posix_memalign(&mem, kHugePage, bytes) != 0)
+        throw std::bad_alloc();
+#if defined(__linux__)
+    // Advisory only: with THP in madvise mode this backs the slab
+    // with huge pages; elsewhere it is a no-op. PRI_ARENA_NOHUGE
+    // opts out (e.g. for memory-constrained CI runners).
+    static const bool no_huge =
+        std::getenv("PRI_ARENA_NOHUGE") != nullptr;
+    if (!no_huge)
+        madvise(mem, bytes, MADV_HUGEPAGE);
+#endif
+    return static_cast<std::byte *>(mem);
+}
+
+} // namespace
+
+LaneArena *
+currentArena()
+{
+    return tlsArena;
+}
+
+ArenaScope::ArenaScope(LaneArena *arena) : prev(tlsArena)
+{
+    tlsArena = arena;
+}
+
+ArenaScope::~ArenaScope()
+{
+    tlsArena = prev;
+}
+
+LaneArena::LaneArena(size_t slab_bytes)
+    : slabBytes(roundUp(slab_bytes, kHugePage))
+{
+}
+
+LaneArena::~LaneArena()
+{
+    for (auto &s : slabs)
+        std::free(s.mem);
+}
+
+void
+LaneArena::grow(size_t min_bytes)
+{
+    // Advance through retained slabs first; only allocate fresh
+    // storage when every retained slab is exhausted or too small.
+    while (curSlab + 1 < slabs.size()) {
+        ++curSlab;
+        offset = 0;
+        if (slabs[curSlab].cap >= min_bytes)
+            return;
+    }
+    const size_t cap = roundUp(std::max(min_bytes, slabBytes),
+                               kHugePage);
+    slabs.push_back(Slab{allocSlab(cap), cap});
+    reserved += cap;
+    curSlab = slabs.size() - 1;
+    offset = 0;
+}
+
+void *
+LaneArena::allocate(size_t bytes, size_t align)
+{
+    PRI_ASSERT((align & (align - 1)) == 0,
+               "arena alignment must be a power of two");
+    if (slabs.empty())
+        grow(bytes);
+    size_t at = roundUp(offset, align);
+    if (at + bytes > slabs[curSlab].cap) {
+        grow(bytes);
+        at = 0;
+    }
+    std::byte *p = slabs[curSlab].mem + at;
+    offset = at + bytes;
+    used += bytes;
+    return p;
+}
+
+void
+LaneArena::reset()
+{
+    curSlab = 0;
+    offset = 0;
+    used = 0;
+}
+
+} // namespace pri

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "workload/walker.hh"
 
@@ -137,7 +138,7 @@ class CheckpointPool
     }
 
   private:
-    std::vector<CheckpointSlot> slots;
+    HotVec<CheckpointSlot> slots;
     uint32_t head = 0;      ///< oldest slot still in the window
     uint32_t tail = 0;      ///< next slot to allocate
     uint32_t used = 0;      ///< window size (incl. dead interior)

@@ -38,15 +38,22 @@ CoreStats::CoreStats(StatGroup &sg)
 {
 }
 
-OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
-                               const workload::SyntheticProgram &program,
-                               StatGroup &stats)
+OutOfOrderCore::OutOfOrderCore(
+    const CoreConfig &config,
+    const workload::SyntheticProgram &program, StatGroup &stats,
+    std::shared_ptr<const workload::trace::ProgramTraces>
+        shared_traces,
+    const workload::ReplayTape *tape)
     : cfg(config), sg(stats), st(stats), prog(program),
       traces(config.tracedFrontEnd
-                 ? workload::trace::TraceCache::global().acquire(
-                       program)
+                 ? (shared_traces
+                        ? std::move(shared_traces)
+                        : workload::trace::TraceCache::global()
+                              .acquire(program))
                  : nullptr),
-      walker(program, traces.get()), rn(config.rename, stats),
+      walker(program, traces.get(),
+             traces != nullptr ? tape : nullptr),
+      rn(config.rename, stats),
       mem(config.mem),
       lsq(config.lsqSize), robHot(config.robSize),
       robCold(config.robSize), fetchBuf(config.fetchQueueSize()),
@@ -608,10 +615,10 @@ OutOfOrderCore::processEvents()
     // misprediction and replay every back-to-back dependent pair.
     // The drain partitions events by pass so each runs as one tight
     // loop.
-    std::vector<Event> local_first, local_second;
-    std::vector<Event> &first =
+    HotVec<Event> local_first, local_second;
+    HotVec<Event> &first =
         cfg.hoistScratch ? eventScratch : local_first;
-    std::vector<Event> &second =
+    HotVec<Event> &second =
         cfg.hoistScratch ? eventScratch2 : local_second;
     first.clear();
     second.clear();
@@ -628,7 +635,7 @@ OutOfOrderCore::processEvents()
         (first.capacity() != cap1 || second.capacity() != cap2)) {
         ++st.scratchGrowths;
     }
-    for (const std::vector<Event> *events : {&first, &second}) {
+    for (const HotVec<Event> *events : {&first, &second}) {
         for (const Event &ev : *events) {
             const RobHot &e = robHot[ev.robIdx];
             if (!e.valid || e.slotGen != ev.slotGen)
@@ -987,8 +994,8 @@ void
 OutOfOrderCore::squashAfter(uint32_t branch_idx)
 {
     const uint32_t stop = (branch_idx + 1) % cfg.robSize;
-    std::vector<Freed> local;
-    std::vector<Freed> &to_free =
+    HotVec<Freed> local;
+    HotVec<Freed> &to_free =
         cfg.hoistScratch ? freedScratch : local;
     to_free.clear();
 

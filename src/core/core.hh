@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "branch/predictor.hh"
+#include "common/arena.hh"
 #include "common/flight_recorder.hh"
 #include "common/stats.hh"
 #include "common/undo_journal.hh"
@@ -34,6 +35,11 @@
 #include "memory/cache.hh"
 #include "rename/rename_unit.hh"
 #include "workload/walker.hh"
+
+namespace pri::workload
+{
+class ReplayTape;
+} // namespace pri::workload
 
 namespace pri::core
 {
@@ -261,9 +267,21 @@ class ProgressStallError : public std::runtime_error
 class OutOfOrderCore
 {
   public:
-    OutOfOrderCore(const CoreConfig &config,
-                   const workload::SyntheticProgram &program,
-                   StatGroup &stats);
+    /**
+     * @p shared_traces, when non-null, supplies the compiled
+     * micro-traces directly (batched lanes of one SweepBatch share a
+     * single acquisition) instead of acquiring them from the global
+     * TraceCache; ignored unless cfg.tracedFrontEnd. @p tape, when
+     * non-null, is a shared committed-path ReplayTape handed to the
+     * walker (requires traced mode; see ReplayTape). Both default to
+     * null, which is the exact legacy construction path.
+     */
+    OutOfOrderCore(
+        const CoreConfig &config,
+        const workload::SyntheticProgram &program, StatGroup &stats,
+        std::shared_ptr<const workload::trace::ProgramTraces>
+            shared_traces = nullptr,
+        const workload::ReplayTape *tape = nullptr);
 
     /**
      * Simulate until @p commit_target instructions commit (or
@@ -444,13 +462,16 @@ class OutOfOrderCore
     Lsq lsq;
 
     // ROB (circular, struct-of-arrays: hot scheduling state dense,
-    // cold retire/bookkeeping state aside).
-    std::vector<RobHot> robHot;
-    std::vector<RobCold> robCold;
+    // cold retire/bookkeeping state aside). All the per-cycle hot
+    // containers below are HotVec: heap-backed when built normally,
+    // packed into the ambient LaneArena when the core is constructed
+    // under an ArenaScope (batched sweeps; DESIGN.md §14).
+    HotVec<RobHot> robHot;
+    HotVec<RobCold> robCold;
     /** One bit per ROB slot: valid && !retired. Lets the retire
      *  stage's "all older retired?" privilege check scan words
      *  instead of walking entries. */
-    std::vector<uint64_t> unretiredBits;
+    HotVec<uint64_t> unretiredBits;
     uint32_t robHead = 0;
     uint32_t robTail = 0;
     uint32_t robCount = 0;
@@ -460,7 +481,7 @@ class OutOfOrderCore
     // (selective recovery keeps them allocated until completion).
     // schedQueue is the legacy polling structure (eventWakeup off);
     // schedCount_ tracks waiting-entry occupancy in both modes.
-    std::vector<uint32_t> schedQueue;
+    HotVec<uint32_t> schedQueue;
     unsigned schedHeld = 0;
     unsigned schedCount_ = 0;
 
@@ -473,13 +494,13 @@ class OutOfOrderCore
     // linked exactly while its SrcRead is a live pointer read
     // (valid && !imm && refHeld), i.e. the same set the legacy
     // ideal-inline ROB walk would rewrite.
-    std::array<std::vector<int32_t>, 2> consHead_;
+    std::array<HotVec<int32_t>, 2> consHead_;
     struct ConsLinks
     {
         int32_t next = -1;
         int32_t prev = -1;
     };
-    std::vector<ConsLinks> cons_; ///< one pair per source node
+    HotVec<ConsLinks> cons_; ///< one pair per source node
 
     // Ready set: one bit per ROB slot; a *superset* of the
     // poll-ready entries (lazy: entries whose predicted readiness
@@ -487,21 +508,21 @@ class OutOfOrderCore
     // recheck). Age order is free — iterating the ring from robHead
     // visits slots in rename (seq) order — so insert/remove are
     // single bit flips instead of sorted-list surgery.
-    std::vector<uint64_t> readyBits_;
+    HotVec<uint64_t> readyBits_;
     unsigned readyCount_ = 0;
 
     // Timed wakeups: a bucket ring keyed by cycle (same horizon as
     // the event wheel), intrusively linked so each entry has at most
     // one pending wakeup. Deliberately separate from the event wheel
     // so wake traffic cannot perturb core.scratchGrowths.
-    std::vector<int32_t> wakeBucketHead_;
+    HotVec<int32_t> wakeBucketHead_;
     struct WakeLinks
     {
         int32_t next = -1;
         int32_t prev = -1;
         uint64_t at = kNever; ///< kNever = no pending wakeup
     };
-    std::vector<WakeLinks> wake_; ///< one record per ROB slot
+    HotVec<WakeLinks> wake_; ///< one record per ROB slot
 
     WakeupTelemetry wk;
 
@@ -523,7 +544,7 @@ class OutOfOrderCore
         branch::PredictorSnapshotFull bpSnap;
         workload::WalkerCkpt walkerCkpt;
     };
-    std::vector<FetchedInst> fetchBuf;
+    HotVec<FetchedInst> fetchBuf;
     uint32_t fetchHead = 0;
     uint32_t fetchCount = 0;
     uint64_t fetchResumeCycle = 0;
@@ -541,15 +562,15 @@ class OutOfOrderCore
     UndoJournal<ArchUndo> archJournal;
 
     // Per-physical-register availability (timing scoreboard).
-    std::array<std::vector<uint64_t>, 2> specAvail_;
-    std::array<std::vector<uint64_t>, 2> actualAvail_;
+    std::array<HotVec<uint64_t>, 2> specAvail_;
+    std::array<HotVec<uint64_t>, 2> actualAvail_;
 
     // Speculative architectural values, for dataflow checking.
     std::array<uint64_t, 2 * isa::kNumLogicalRegs> specArch{};
 
     // Event wheel.
     static constexpr unsigned kWheelSize = 1024;
-    std::array<std::vector<Event>, kWheelSize> wheel;
+    std::array<HotVec<Event>, kWheelSize> wheel;
 
     /**
      * Wakeups predicted at most this many cycles out skip the wake
@@ -564,9 +585,9 @@ class OutOfOrderCore
     // state allocates nothing (cfg.hoistScratch). The buffers trade
     // storage with their producers (wheel slot / local) via swap,
     // so capacity is retained and recirculated.
-    std::vector<Event> eventScratch;   ///< completions/retires
-    std::vector<Event> eventScratch2;  ///< execution starts
-    std::vector<Freed> freedScratch;
+    HotVec<Event> eventScratch;   ///< completions/retires
+    HotVec<Event> eventScratch2;  ///< execution starts
+    HotVec<Freed> freedScratch;
 
     CommitObserver *observer = nullptr;
 

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
 
@@ -234,10 +235,10 @@ class Lsq
         e.wordPrev = kNil;
     }
 
-    std::vector<Entry> entries;
-    std::vector<WordNode> nodes;     ///< fixed pool, one per slot
-    std::vector<int32_t> freeNodes;  ///< unused pool indices
-    std::vector<int32_t> buckets;    ///< hash heads (pow2 size)
+    HotVec<Entry> entries;
+    HotVec<WordNode> nodes;     ///< fixed pool, one per slot
+    HotVec<int32_t> freeNodes;  ///< unused pool indices
+    HotVec<int32_t> buckets;    ///< hash heads (pow2 size)
     unsigned head = 0;
     unsigned tail = 0;
     unsigned count = 0;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/stats.hh"
 
 namespace pri::memory
@@ -70,7 +71,7 @@ class Cache
 
     CacheParams prm;
     unsigned numSets;
-    std::vector<Line> lines; // numSets * assoc, set-major
+    HotVec<Line> lines; // numSets * assoc, set-major
     uint64_t stamp = 0;
     uint64_t nHits = 0;
     uint64_t nMisses = 0;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "isa/reg.hh"
 
 namespace pri::rename
@@ -53,7 +54,10 @@ class FreeList
 
   private:
     unsigned total;
-    std::vector<isa::PhysRegId> freeStack;
+    /** Arena-backed when constructed under an ArenaScope: the free
+     *  stack head is among the hottest rename-stage lines, so lanes
+     *  of a SweepBatch keep theirs in their own arena slab. */
+    HotVec<isa::PhysRegId> freeStack;
     std::vector<bool> allocated;
     unsigned allocatedCount = 0;
     uint64_t nDuplicate = 0;

@@ -37,6 +37,7 @@
 #include <map>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/stats.hh"
 #include "isa/reg.hh"
 #include "rename/free_list.hh"
@@ -351,7 +352,7 @@ class RenameUnit
     {
         RamMapTable map;
         FreeList freeList;
-        std::vector<PregInfo> pregs;
+        HotVec<PregInfo> pregs; ///< arena-backed under an ArenaScope
         unsigned storageUsed = 0; ///< VP: written live values
 
         ClassState(unsigned num_phys, unsigned num_arch)

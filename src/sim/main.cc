@@ -7,7 +7,7 @@
  *   pri_sim [-b benchmark] [-w width] [-s scheme] [-p pregs]
  *           [-n measureInsts] [-u warmupInsts] [-S seed] [-v]
  *           [--check-golden]
- *           [--sweep N] [--jobs N] [--journal PATH]
+ *           [--sweep N] [--jobs N] [--batch K] [--journal PATH]
  *           [--timeout-ms N] [--cycle-budget N]
  *           [--watchdog-cycles N] [--no-watchdog]
  *           [--retries N] [--backoff-ms N]
@@ -26,6 +26,11 @@
  * the missing points and prints a byte-identical table.
  * `--inject-fault wedge@3` plants a scheduler wedge in point 3 only
  * (the watchdog acceptance drill).
+ *
+ * `--batch K` simulates up to K compatible sweep points per worker
+ * thread as lanes of one shared-workload batch (default: auto);
+ * results are byte-identical to `--batch 1`. PRI_LEGACY_BATCH=1
+ * forces the serial path regardless.
  */
 
 #include <cstdio>
@@ -147,6 +152,7 @@ main(int argc, char **argv)
     bool verbose = false;
     size_t sweep = 0;
     unsigned jobs = 1;
+    unsigned batch_lanes = 0; // 0 = auto (defaultBatchLanes)
     unsigned retries = 0;
     unsigned backoff_ms = 0;
     std::string journal_path;
@@ -184,6 +190,9 @@ main(int argc, char **argv)
             sweep = static_cast<size_t>(std::atoll(next()));
         } else if (a == "--jobs") {
             jobs = static_cast<unsigned>(std::atoi(next()));
+        } else if (a == "--batch") {
+            batch_lanes =
+                static_cast<unsigned>(std::atoi(next()));
         } else if (a == "--journal") {
             journal_path = next();
         } else if (a == "--timeout-ms") {
@@ -212,6 +221,7 @@ main(int argc, char **argv)
                          "[-s scheme] [-p pregs] [-n insts] "
                          "[-u warmup] [-S seed] [-v] [-l] "
                          "[--check-golden] [--sweep N] [--jobs N] "
+                         "[--batch K] "
                          "[--journal PATH] [--timeout-ms N] "
                          "[--cycle-budget N] "
                          "[--watchdog-cycles N] [--no-watchdog] "
@@ -262,6 +272,7 @@ main(int argc, char **argv)
     }
 
     pri::sim::SimulationRunner runner(jobs);
+    runner.setBatchLanes(batch_lanes);
     runner.setRetryPolicy({retries + 1, backoff_ms});
     if (journal.enabled())
         runner.setJournal(&journal);

@@ -63,6 +63,21 @@ class SimulationRunner
     void setRetryPolicy(RetryPolicy policy) { retry = policy; }
 
     /**
+     * Simulate up to @p lanes compatible sweep points per worker
+     * thread as one SoA batch off a shared workload replay
+     * (sim/batch/sweep_batch.hh). 1 (the default) disables
+     * batching — every point runs the serial path; 0 selects
+     * defaultBatchLanes(). Results, reports, errors, and journal
+     * contents are byte-identical at any lane count. The
+     * PRI_LEGACY_BATCH=1 environment variable forces 1 process-wide
+     * (whole-binary A/B escape hatch).
+     */
+    void setBatchLanes(unsigned lanes) { nBatchLanes = lanes; }
+
+    /** Configured lane count (before env override / auto). */
+    unsigned batchLanes() const { return nBatchLanes; }
+
+    /**
      * Consult @p j before simulating (hits are returned without
      * re-running) and persist every fresh success. Not owned; must
      * outlive run()/runCaptured(). nullptr disables.
@@ -134,7 +149,25 @@ class SimulationRunner
   private:
     Outcome runOne(size_t index, const RunParams &params) const;
 
+    /** Attempt loop shared by runOne and the batched path: run
+     *  attempts [first_attempt, maxAttempts) of @p params,
+     *  accumulating into @p out; returns on first success (also
+     *  journals it under @p key). On return, out.error is raw
+     *  (unprefixed) when all attempts failed. */
+    void runRetries(const RunParams &params, uint64_t key,
+                    unsigned first_attempt, Outcome &out) const;
+
+    /** Lane count after the PRI_LEGACY_BATCH override and auto
+     *  resolution. */
+    unsigned effectiveBatchLanes() const;
+
+    /** Batched runCaptured body: journal prefilter, batch
+     *  formation, group execution. */
+    void runBatched(const std::vector<RunParams> &batch,
+                    std::vector<Outcome> &out) const;
+
     unsigned nJobs;
+    unsigned nBatchLanes = 1;
     RetryPolicy retry;
     SweepJournal *journal = nullptr;
 };

@@ -7,8 +7,7 @@
 #include "common/flight_recorder.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
-#include "golden/diff_checker.hh"
-#include "workload/program.hh"
+#include "sim/sim_instance.hh"
 
 namespace pri::sim
 {
@@ -111,135 +110,12 @@ simulate(const RunParams &params)
     fr.clear();
     fr.setContext(paramsSummary(params).c_str());
 
-    const auto &profile = workload::profileByName(params.benchmark);
-    workload::SyntheticProgram program(profile, params.seed);
-
-    const unsigned narrow = params.narrowBitsOverride
-        ? params.narrowBitsOverride
-        : core::CoreConfig::narrowBitsForWidth(params.width);
-    auto rn_cfg =
-        makeRenameConfig(params.scheme, params.physRegs, narrow);
-    rn_cfg.injectFreeWithoutInline = params.injectFreeWithoutInline;
-    core::CoreConfig cfg = params.width >= 8
-        ? core::CoreConfig::eightWide(rn_cfg)
-        : core::CoreConfig::fourWide(rn_cfg);
-    cfg.pooledCheckpoints = params.pooledCheckpoints;
-    if (std::getenv("PRI_LEGACY_CKPTS") != nullptr)
-        cfg.pooledCheckpoints = false;
-    cfg.eventWakeup = params.eventWakeup;
-    if (std::getenv("PRI_LEGACY_WAKEUP") != nullptr)
-        cfg.eventWakeup = false;
-    cfg.tracedFrontEnd = params.tracedFrontEnd;
-    if (std::getenv("PRI_LEGACY_WALKER") != nullptr)
-        cfg.tracedFrontEnd = false;
-    if (params.schedSizeOverride)
-        cfg.schedSize = params.schedSizeOverride;
-    cfg.injectFault = params.injectFault;
-
-    // Watchdog / budget plumbing. PRI_WATCHDOG_CYCLES overrides the
-    // stall threshold process-wide; 0 disables detection.
-    cfg.watchdogEnabled = params.watchdog;
-    if (params.watchdogCycles != 0)
-        cfg.watchdogCycles = params.watchdogCycles;
-    if (const char *wd = std::getenv("PRI_WATCHDOG_CYCLES")) {
-        const uint64_t v = std::strtoull(wd, nullptr, 10);
-        cfg.watchdogEnabled = v != 0;
-        if (v != 0)
-            cfg.watchdogCycles = v;
-    }
-    cfg.cycleBudget = params.cycleBudget;
-
-    StatGroup stats;
-    core::OutOfOrderCore cpu(cfg, program, stats);
-    cpu.setWallClockBudget(params.timeoutMs);
-
-    std::unique_ptr<golden::DiffChecker> checker;
-    if (params.checkGolden ||
-        std::getenv("PRI_CHECK_GOLDEN") != nullptr) {
-        golden::DiffChecker::Options opt;
-        opt.archCheckInterval = params.goldenAuditInterval;
-        checker =
-            std::make_unique<golden::DiffChecker>(program, opt);
-        checker->setAuditHook([&cpu] { cpu.checkInvariants(); });
-        cpu.setCommitObserver(checker.get());
-    }
-
-    cpu.run(params.warmupInsts);
-    cpu.beginMeasurement();
-    const uint64_t c0 = cpu.cycles();
-    const uint64_t i0 = cpu.committedInsts();
-
-    // Re-zero event counters so rates reflect the window only.
-    const double mp0 = stats.scalarValue("core.branchMispredicts");
-    const double br0 = stats.scalarValue("core.committedBranches");
-    const double pf0 = stats.scalarValue("pri.earlyFrees");
-    const double ef0 = stats.scalarValue("er.earlyFrees");
-    const double nw0 = stats.scalarValue("pri.narrowResultsInt") +
-        stats.scalarValue("pri.narrowResultsFp");
-    const double da0 = stats.scalarValue("rename.destAllocs");
-
-    cpu.run(params.measureInsts);
-
-    if (params.checkInvariants)
-        cpu.checkInvariants();
-    if (checker)
-        checker->finishRun();
-
-    RunResult r;
-    r.benchmark = params.benchmark;
-    r.scheme = schemeName(params.scheme);
-    r.width = params.width;
-    r.cycles = cpu.cycles() - c0;
-    r.insts = cpu.committedInsts() - i0;
-    r.committedTotal = cpu.committedInsts();
-    r.goldenChecked = checker ? checker->checkedCommits() : 0;
-    // IPC from the same measurement-window deltas as cycles/insts,
-    // so the three fields are always mutually consistent (a run
-    // whose window deltas were taken here must never mix in whole-
-    // run counts — speedups in Fig 10/12 divide these IPCs).
-    r.ipc = r.cycles == 0
-        ? 0.0
-        : static_cast<double>(r.insts) /
-            static_cast<double>(r.cycles);
-    r.avgIntOccupancy = cpu.avgIntOccupancy();
-    r.avgFpOccupancy = cpu.avgFpOccupancy();
-
-    r.lifeAllocToWrite =
-        stats.average("lifetime.allocToWrite").mean();
-    r.lifeWriteToLastRead =
-        stats.average("lifetime.writeToLastRead").mean();
-    r.lifeLastReadToRelease =
-        stats.average("lifetime.lastReadToRelease").mean();
-
-    const double branches =
-        stats.scalarValue("core.committedBranches") - br0;
-    r.branchMispredictRate = branches > 0
-        ? (stats.scalarValue("core.branchMispredicts") - mp0) /
-            branches
-        : 0.0;
-
-    const double dl1_total = static_cast<double>(
-        cpu.memory().dl1().hits() + cpu.memory().dl1().misses());
-    r.dl1MissRate = dl1_total > 0
-        ? cpu.memory().dl1().misses() / dl1_total
-        : 0.0;
-
-    const double insts_k = static_cast<double>(r.insts) / 1000.0;
-    r.priEarlyFrees = insts_k > 0
-        ? (stats.scalarValue("pri.earlyFrees") - pf0) / insts_k
-        : 0.0;
-    r.erEarlyFrees = insts_k > 0
-        ? (stats.scalarValue("er.earlyFrees") - ef0) / insts_k
-        : 0.0;
-
-    const double dests = stats.scalarValue("rename.destAllocs") - da0;
-    const double narrow_n =
-        stats.scalarValue("pri.narrowResultsInt") +
-        stats.scalarValue("pri.narrowResultsFp") - nw0;
-    r.inlinedFrac = dests > 0 ? narrow_n / dests : 0.0;
-
-    r.report = stats.report("  ");
-    return r;
+    // SimInstance run to completion is the whole simulation: build
+    // the machine, warm up, measure, and assemble the result (see
+    // sim_instance.hh for the phase machine).
+    SimInstance inst(params);
+    inst.step(SimInstance::kNoLimit);
+    return inst.finish();
 }
 
 double

@@ -1,0 +1,32 @@
+#include "replay_tape.hh"
+
+#include "common/logging.hh"
+#include "workload/trace/trace_cache.hh"
+#include "workload/walker.hh"
+
+namespace pri::workload
+{
+
+ReplayTape::ReplayTape(const SyntheticProgram &program,
+                       const trace::ProgramTraces *traces,
+                       uint64_t length)
+{
+    PRI_ASSERT(traces != nullptr,
+               "the tape records traced-walker positions");
+    Walker w(program, traces);
+    entries.reserve(length);
+    for (uint64_t g = 0; g < length; ++g) {
+        Entry e;
+        e.wi = w.next();
+        e.isBranch = w.branchPending();
+        // Position *before* any steer: a lane replaying a branch
+        // entry must land paused at the branch, like live next().
+        e.nextLoc = w.location();
+        e.nextCur = w.currentOp();
+        if (e.isBranch)
+            w.steer(e.wi, e.wi.taken, e.wi.actualTarget);
+        entries.push_back(e);
+    }
+}
+
+} // namespace pri::workload

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ReplayTape: the committed-path instruction stream of one program,
+ * generated once and shared read-only by every lane of a SweepBatch
+ * (DESIGN.md §14).
+ *
+ * The committed path is timing-independent (DESIGN.md §5): every
+ * config point of the same (program, seed) fetches the identical
+ * sequence of correctly-steered instructions, differing only in how
+ * far it speculates down wrong paths and when it rolls back. The
+ * tape exploits that: an always-correctly-steered walker is run once
+ * per batch, recording for each dynamic index g the generated WInst
+ * plus the walker's post-fetch position, and each lane that is still
+ * on the committed path replays entry g with a copy and a pointer
+ * bump instead of re-deriving values, addresses, and branch outcomes
+ * from the hash generators. Off the committed path (after steering a
+ * mispredicted direction) a lane falls back to live generation until
+ * a checkpoint restore returns it to an on-path state; past the end
+ * of the tape it also falls back, so tape length is a performance
+ * knob, never a correctness one.
+ *
+ * The per-lane `seq` field is the one WInst field that is *not*
+ * shared: it counts every fetch including wrong-path fetches and is
+ * never rolled back, so each lane stamps its own.
+ */
+
+#ifndef PRI_WORKLOAD_REPLAY_TAPE_HH
+#define PRI_WORKLOAD_REPLAY_TAPE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/program.hh"
+#include "workload/winst.hh"
+
+namespace pri::workload
+{
+
+namespace trace
+{
+class ProgramTraces;
+struct MicroOp;
+} // namespace trace
+
+class ReplayTape
+{
+  public:
+    /** One committed-path dynamic instruction, plus the walker state
+     *  a lane needs to continue without touching the generators. */
+    struct Entry
+    {
+        WInst wi;
+        /** Walker position after next() returns entry g (for a
+         *  branch: the branch's own location, pre-steer). */
+        ProgLoc nextLoc;
+        /** MicroOp at nextLoc (traced replay pointer). */
+        const trace::MicroOp *nextCur = nullptr;
+        /** Entry is a branch: the lane's walker pauses pending a
+         *  steer, exactly as live generation would. */
+        bool isBranch = false;
+    };
+
+    /**
+     * Record @p length committed-path instructions of @p program by
+     * running a fresh walker steered down every actual outcome.
+     * @p traces must be the compiled form of @p program and outlive
+     * the tape (lane walkers chase its MicroOp pointers).
+     */
+    ReplayTape(const SyntheticProgram &program,
+               const trace::ProgramTraces *traces, uint64_t length);
+
+    uint64_t size() const { return entries.size(); }
+
+    const Entry &
+    entry(uint64_t g) const
+    {
+        return entries[g];
+    }
+
+    /** Resident bytes (diagnostics). */
+    uint64_t
+    tapeBytes() const
+    {
+        return entries.size() * sizeof(Entry);
+    }
+
+  private:
+    std::vector<Entry> entries;
+};
+
+} // namespace pri::workload
+
+#endif // PRI_WORKLOAD_REPLAY_TAPE_HH
