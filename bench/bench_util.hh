@@ -167,6 +167,7 @@ struct Point
     unsigned width = 4;
     sim::Scheme scheme = sim::Scheme::Base;
     unsigned pregs = 64;
+    unsigned ports = 0; ///< PRF read ports; 0 = unlimited
 };
 
 namespace detail
@@ -175,13 +176,13 @@ namespace detail
 /** Cache key: every RunParams field that affects the result
  *  (seed excluded — cached entries are seed averages). */
 using PointKey = std::tuple<std::string, unsigned, int, unsigned,
-                            uint64_t, uint64_t>;
+                            uint64_t, uint64_t, unsigned>;
 
 inline PointKey
 keyOf(const Point &pt, const Budget &budget)
 {
     return {pt.bench, pt.width, static_cast<int>(pt.scheme),
-            pt.pregs, budget.warmup, budget.measure};
+            pt.pregs, budget.warmup, budget.measure, pt.ports};
 }
 
 inline std::map<PointKey, sim::RunResult> &
@@ -207,6 +208,7 @@ paramsFor(const Point &pt, const Budget &budget, uint64_t seed)
     p.width = pt.width;
     p.scheme = pt.scheme;
     p.physRegs = pt.pregs;
+    p.prfReadPorts = pt.ports;
     p.warmupInsts = budget.warmup;
     p.measureInsts = budget.measure;
     p.seed = seed;
@@ -252,6 +254,8 @@ averageResults(const std::vector<sim::RunResult> &rs)
             acc.priEarlyFrees += r.priEarlyFrees;
             acc.erEarlyFrees += r.erEarlyFrees;
             acc.inlinedFrac += r.inlinedFrac;
+            acc.portStallsPerKInst += r.portStallsPerKInst;
+            acc.portInlineBypassFrac += r.portInlineBypassFrac;
         }
         ++n;
     }
@@ -267,6 +271,8 @@ averageResults(const std::vector<sim::RunResult> &rs)
     acc.priEarlyFrees *= inv;
     acc.erEarlyFrees *= inv;
     acc.inlinedFrac *= inv;
+    acc.portStallsPerKInst *= inv;
+    acc.portInlineBypassFrac *= inv;
     return acc;
 }
 
@@ -326,14 +332,16 @@ prefetchGrid(const std::vector<std::string> &benches,
              const std::vector<unsigned> &widths,
              const std::vector<sim::Scheme> &schemes,
              const Options &opts,
-             const std::vector<unsigned> &pregsList = {64})
+             const std::vector<unsigned> &pregsList = {64},
+             const std::vector<unsigned> &portsList = {0})
 {
     std::vector<Point> pts;
     for (const auto &b : benches)
         for (unsigned w : widths)
             for (auto s : schemes)
                 for (unsigned pr : pregsList)
-                    pts.push_back(Point{b, w, s, pr});
+                    for (unsigned rp : portsList)
+                        pts.push_back(Point{b, w, s, pr, rp});
     prefetchPoints(pts, opts);
 }
 
@@ -352,6 +360,8 @@ struct SweepGrid
     std::vector<unsigned> widths;
     std::vector<sim::Scheme> schemes;
     std::vector<unsigned> pregsList = {64};
+    /** PRF read-port budgets; {0} = the classic unlimited grid. */
+    std::vector<unsigned> portsList = {0};
 };
 
 /**
@@ -368,7 +378,7 @@ runSweepGrid(const SweepGrid &grid, const Options &opts,
 {
     std::printf("%s", grid.banner);
     prefetchGrid(grid.benches, grid.widths, grid.schemes, opts,
-                 grid.pregsList);
+                 grid.pregsList, grid.portsList);
     for (unsigned w : grid.widths)
         emit_width(w);
     writeJson(opts);
@@ -378,9 +388,9 @@ runSweepGrid(const SweepGrid &grid, const Options &opts,
 /** Run one configuration, averaged over kSeeds (memoized). */
 inline sim::RunResult
 runOne(const std::string &bench, unsigned width, sim::Scheme scheme,
-       const Budget &budget, unsigned pregs = 64)
+       const Budget &budget, unsigned pregs = 64, unsigned ports = 0)
 {
-    const Point pt{bench, width, scheme, pregs};
+    const Point pt{bench, width, scheme, pregs, ports};
     const auto key = detail::keyOf(pt, budget);
     if (auto it = detail::resultCache().find(key);
         it != detail::resultCache().end()) {
@@ -422,12 +432,12 @@ writeJson(const Options &opts)
     std::fprintf(f, "{\n\"points\": [\n");
     bool first = true;
     for (const auto &[key, r] : detail::jsonLog()) {
-        const auto &[bench, width, scheme, pregs, warmup, measure] =
-            key;
+        const auto &[bench, width, scheme, pregs, warmup, measure,
+                     ports] = key;
         std::fprintf(
             f,
             "%s  {\"benchmark\": \"%s\", \"scheme\": \"%s\", "
-            "\"width\": %u, \"pregs\": %u, "
+            "\"width\": %u, \"pregs\": %u, \"readPorts\": %u, "
             "\"warmup\": %llu, \"measure\": %llu, "
             "\"ipc\": %.6f, \"cycles\": %llu, \"insts\": %llu, "
             "\"avgIntOccupancy\": %.4f, \"avgFpOccupancy\": %.4f, "
@@ -436,10 +446,12 @@ writeJson(const Options &opts)
             "\"lifeLastReadToRelease\": %.4f, "
             "\"branchMispredictRate\": %.6f, "
             "\"dl1MissRate\": %.6f, \"priEarlyFrees\": %.4f, "
-            "\"erEarlyFrees\": %.4f, \"inlinedFrac\": %.6f}",
+            "\"erEarlyFrees\": %.4f, \"inlinedFrac\": %.6f, "
+            "\"portStallsPerKInst\": %.4f, "
+            "\"portInlineBypassFrac\": %.6f}",
             first ? "" : ",\n", bench.c_str(),
             sim::schemeName(static_cast<sim::Scheme>(scheme)),
-            width, pregs,
+            width, pregs, ports,
             static_cast<unsigned long long>(warmup),
             static_cast<unsigned long long>(measure), r->ipc,
             static_cast<unsigned long long>(r->cycles),
@@ -448,7 +460,8 @@ writeJson(const Options &opts)
             r->lifeAllocToWrite, r->lifeWriteToLastRead,
             r->lifeLastReadToRelease, r->branchMispredictRate,
             r->dl1MissRate, r->priEarlyFrees, r->erEarlyFrees,
-            r->inlinedFrac);
+            r->inlinedFrac, r->portStallsPerKInst,
+            r->portInlineBypassFrac);
         first = false;
     }
     const auto tc = workload::trace::TraceCache::global().stats();

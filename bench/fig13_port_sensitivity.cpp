@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 13 (extension study): PRF read-port sensitivity. The
+ * machine's register-read stage arbitrates a finite read-port
+ * budget; PRI-inlined source operands issue straight off the map
+ * and consume no ports, so PRI should hold its IPC as the budget
+ * shrinks while the base machine stalls. For each port budget in
+ * {unlimited, 12, 8, 6, 4, 2} the harness reports per-scheme
+ * geomean IPC, the PRI/Base speedup, the IPC fraction retained vs
+ * the unlimited array, and port-pressure metrics — plus the
+ * analytical PrfModel's normalised access delay and area for each
+ * budget, the silicon cost the smaller array buys back.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "rename/prf_model.hh"
+
+namespace
+{
+
+/** 0 = unlimited; finite budgets down to the arbiter floor of 2. */
+constexpr unsigned kPorts[] = {0, 12, 8, 6, 4, 2};
+
+constexpr pri::sim::Scheme kSchemes[] = {
+    pri::sim::Scheme::Base,
+    pri::sim::Scheme::PriRefcountCkptcount,
+};
+
+std::vector<unsigned>
+portsList()
+{
+    return std::vector<unsigned>(std::begin(kPorts),
+                                 std::end(kPorts));
+}
+
+void
+runWidth(unsigned width, const pri::bench::Options &opts)
+{
+    using namespace pri;
+    const auto &budget = opts.budget;
+    const auto benches = bench::intBenchmarks();
+
+    std::printf("width %u  (geomean IPC over %zu workloads, "
+                "64 PR)\n",
+                width, benches.size());
+    std::printf("%-10s", "ports");
+    for (auto s : kSchemes)
+        std::printf("  %10s", sim::schemeName(s));
+    std::printf("  %9s  %9s  %9s\n", "PRI/Base", "retained",
+                "stalls/k");
+
+    double unlimited_pri = 0.0;
+    for (unsigned ports : kPorts) {
+        double ipcs[std::size(kSchemes)];
+        double stalls_k = 0.0;
+        for (size_t si = 0; si < std::size(kSchemes); ++si) {
+            std::vector<double> per_bench;
+            std::vector<double> per_stalls;
+            for (const auto &name : benches) {
+                const auto r = bench::runOne(name, width,
+                                             kSchemes[si], budget,
+                                             64, ports);
+                per_bench.push_back(r.ipc);
+                per_stalls.push_back(r.portStallsPerKInst);
+            }
+            ipcs[si] = bench::geomean(per_bench);
+            if (kSchemes[si] != sim::Scheme::Base)
+                stalls_k = bench::mean(per_stalls);
+        }
+        const double pri_ipc = ipcs[std::size(kSchemes) - 1];
+        if (ports == 0)
+            unlimited_pri = pri_ipc;
+        if (ports == 0)
+            std::printf("%-10s", "unlimited");
+        else
+            std::printf("%-10u", ports);
+        for (double ipc : ipcs)
+            std::printf("  %10.4f", ipc);
+        std::printf("  %9.3f  %9.3f  %9.1f\n", pri_ipc / ipcs[0],
+                    pri_ipc / unlimited_pri, stalls_k);
+    }
+    std::printf("\n");
+}
+
+void
+printModelTable()
+{
+    using pri::rename::PrfGeometry;
+    using pri::rename::PrfModel;
+    std::printf("PrfModel: normalised access delay / area vs read "
+                "ports (64x64 array, 4 write ports;\nbaseline "
+                "8R4W = 1.0)\n");
+    std::printf("%-8s  %8s  %8s\n", "ports", "delay", "area");
+    for (unsigned ports : kPorts) {
+        if (ports == 0)
+            continue;
+        PrfGeometry g;
+        g.readPorts = ports;
+        const auto e = PrfModel::estimate(g);
+        std::printf("%-8u  %8.3f  %8.3f\n", ports, e.accessDelay,
+                    e.area);
+    }
+    const PrfGeometry base;
+    std::printf("read ports within the 8R delay budget: %u\n",
+                PrfModel::readPortsWithinDelay(
+                    PrfModel::rawDelay(base), base, 1, 16));
+    std::printf("ports an 8-wide machine needs at 35%% inlining: "
+                "%u (vs %u uninlined)\n\n",
+                PrfModel::portsForIssueWidth(8, 0.35),
+                PrfModel::portsForIssueWidth(8, 0.0));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = pri::bench::parseOptions(argc, argv);
+    return pri::bench::runSweepGrid(
+        pri::bench::SweepGrid{
+            "=== Figure 13: PRF read-port sensitivity ===\n"
+            "(inlined operands bypass the read ports, so PRI "
+            "degrades more gracefully than\nBase as the budget "
+            "shrinks)\n\n",
+            pri::bench::intBenchmarks(),
+            {4, 8},
+            std::vector<pri::sim::Scheme>(std::begin(kSchemes),
+                                          std::end(kSchemes)),
+            {64},
+            portsList()},
+        opts, [&](unsigned w) {
+            runWidth(w, opts);
+            if (w == 8)
+                printModelTable();
+        });
+}

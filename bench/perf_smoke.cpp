@@ -14,7 +14,11 @@
  *     and scratch-buffer regrowths in the measurement window with
  *     the legacy allocate-per-cycle path (hoistScratch=false)
  *     versus the hoisted member buffers (hoistScratch=true). The
- *     hoisted path must report zero steady-state regrowths.
+ *     hoisted path must report zero steady-state regrowths. A third
+ *     leg repeats the hoisted run with a binding PRF read-port
+ *     budget: the arbiter and its stall-replay path must add zero
+ *     heap allocations over the unlimited leg while actually
+ *     denying issues.
  *  4. Front-end checkpointing: a branch-heavy (gcc) run with pooled
  *     checkpoints versus the legacy copy-everywhere path — KIPS,
  *     checkpoints taken/restored/pool-stalled, steady-state heap
@@ -135,13 +139,18 @@ simulatedInsts(const std::vector<sim::RunResult> &results)
 struct AllocProbe
 {
     double allocsPerCycle = 0.0;
+    uint64_t allocs = 0;
     uint64_t scratchGrowths = 0;
+    uint64_t portStalls = 0;
     uint64_t cycles = 0;
 };
 
-/** Measure steady-state heap traffic of the core's cycle loop. */
+/** Measure steady-state heap traffic of the core's cycle loop.
+ *  @p ports limits the PRF read-port budget (0 = unlimited) so the
+ *  arbitrated issue path gets its own zero-allocation gate. */
 AllocProbe
-probeCycleLoop(bool hoist, const bench::Budget &budget)
+probeCycleLoop(bool hoist, const bench::Budget &budget,
+               unsigned ports = 0)
 {
     const auto &profile = workload::profileByName("gzip");
     workload::SyntheticProgram program(profile, 11);
@@ -150,6 +159,7 @@ probeCycleLoop(bool hoist, const bench::Budget &budget)
     auto cfg = core::CoreConfig::fourWide(
         rename::RenameConfig::base(64, narrow));
     cfg.hoistScratch = hoist;
+    cfg.prfReadPorts = ports;
 
     StatGroup stats;
     core::OutOfOrderCore cpu(cfg, program, stats);
@@ -161,6 +171,8 @@ probeCycleLoop(bool hoist, const bench::Budget &budget)
     const uint64_t c0 = cpu.cycles();
     const uint64_t g0 = static_cast<uint64_t>(
         stats.scalarValue("core.scratchGrowths"));
+    const uint64_t s0 = static_cast<uint64_t>(
+        stats.scalarValue("core.prfPortStallOps"));
     const uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
 
     cpu.run(budget.measure);
@@ -169,10 +181,11 @@ probeCycleLoop(bool hoist, const bench::Budget &budget)
     probe.cycles = cpu.cycles() - c0;
     probe.scratchGrowths = static_cast<uint64_t>(
         stats.scalarValue("core.scratchGrowths")) - g0;
-    const uint64_t allocs =
-        g_allocs.load(std::memory_order_relaxed) - a0;
+    probe.portStalls = static_cast<uint64_t>(
+        stats.scalarValue("core.prfPortStallOps")) - s0;
+    probe.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
     probe.allocsPerCycle = probe.cycles > 0
-        ? static_cast<double>(allocs) /
+        ? static_cast<double>(probe.allocs) /
             static_cast<double>(probe.cycles)
         : 0.0;
     return probe;
@@ -493,6 +506,11 @@ main(int argc, char **argv)
 
     const auto legacy = probeCycleLoop(false, opts.budget);
     const auto hoisted = probeCycleLoop(true, opts.budget);
+    // Port-limited leg: a binding budget (4 ports on the 4-wide
+    // machine, whose worst case is 2*width = 8) drives the arbiter
+    // and the port-stall replay path every cycle. That path must be
+    // as allocation-free as the unlimited one.
+    const auto ported = probeCycleLoop(true, opts.budget, 4);
 
     std::printf("%-28s %14s %14s\n", "cycle-loop heap traffic",
                 "allocs/cycle", "scratchGrowths");
@@ -504,14 +522,39 @@ main(int argc, char **argv)
                 hoisted.allocsPerCycle,
                 static_cast<unsigned long long>(
                     hoisted.scratchGrowths));
+    std::printf("%-28s %14.4f %14llu\n", "ported (read-ports=4)",
+                ported.allocsPerCycle,
+                static_cast<unsigned long long>(
+                    ported.scratchGrowths));
     if (hoisted.scratchGrowths != 0) {
         std::printf("FAIL: hoisted path regrew scratch buffers in "
                     "the measurement window\n");
         return 1;
     }
+    if (ported.portStalls == 0) {
+        std::printf("FAIL: the 4-port budget never bound — the "
+                    "arbiter path was not exercised\n");
+        return 1;
+    }
+    // Delta gate: the two hoisted legs replay the same instruction
+    // stream, so any background allocation (workload, memory system)
+    // lands identically in both. Anything the ported leg adds on top
+    // is an allocation in the arbiter / stall-replay path itself.
+    const uint64_t arb_allocs = ported.allocs > hoisted.allocs
+        ? ported.allocs - hoisted.allocs
+        : 0;
+    if (arb_allocs != 0 || ported.scratchGrowths != 0) {
+        std::printf("FAIL: arbiter path added %llu allocations "
+                    "over the unlimited leg\n",
+                    static_cast<unsigned long long>(arb_allocs));
+        return 1;
+    }
     std::printf("hoisted path: zero steady-state scratch "
-                "allocations over %llu cycles\n\n",
+                "allocations over %llu cycles\n",
                 static_cast<unsigned long long>(hoisted.cycles));
+    std::printf("ported path: zero added allocations across %llu "
+                "port stalls\n\n",
+                static_cast<unsigned long long>(ported.portStalls));
 
     // Front-end checkpointing: branch-heavy workload, pooled vs
     // legacy copy path.
@@ -787,6 +830,8 @@ main(int argc, char **argv)
             "  \"legacyScratchGrowths\": %llu,\n"
             "  \"hoistedAllocsPerCycle\": %.4f,\n"
             "  \"hoistedScratchGrowths\": %llu,\n"
+            "  \"portedAddedAllocs\": %llu,\n"
+            "  \"portedPortStalls\": %llu,\n"
             "  \"measuredCycles\": %llu\n"
             "}\n",
             jobs, batch.size(), serial_kips, par_kips,
@@ -794,6 +839,8 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(legacy.scratchGrowths),
             hoisted.allocsPerCycle,
             static_cast<unsigned long long>(hoisted.scratchGrowths),
+            static_cast<unsigned long long>(arb_allocs),
+            static_cast<unsigned long long>(ported.portStalls),
             static_cast<unsigned long long>(hoisted.cycles));
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());

@@ -53,6 +53,18 @@ enum class InjectedFault : uint8_t
      * instead of spinning the whole sweep forever.
      */
     WedgeScheduler,
+    /**
+     * The read-port arbiter grants one request too many: once per
+     * cycle, an instruction denied ports for its source reads is
+     * issued anyway — and, since the array has no bitlines left to
+     * drive, its dest value in the observed commit stream is
+     * garbage. The machine itself stays self-consistent (same
+     * pattern as CommitWrongPath), so the bug is silent without the
+     * diff checker and only the golden model's independent
+     * recomputation flags it. Requires a finite prfReadPorts
+     * budget.
+     */
+    PortOverGrant,
 };
 
 /** Commit count at which WedgeScheduler freezes the select stage
@@ -76,6 +88,19 @@ struct CoreConfig
     unsigned numFpAlu = 2;
     unsigned numFpMultDiv = 1;
     unsigned numMemPorts = 2;
+
+    /**
+     * PRF read ports granted per cycle across both register classes
+     * (0 = unlimited, the paper's implicit assumption and the exact
+     * pre-port-model behaviour). When finite, the select stage
+     * requests one port per non-inlined source operand through an
+     * age-ordered all-or-nothing arbiter (core/port_arbiter.hh);
+     * losers stay in the scheduler and retry next cycle, counted by
+     * the core.prfPort* stats. PRI-inlined operands read their
+     * immediate from the map/payload and consume zero ports. Must be
+     * 0 or >= 2 (a 2-source op could never issue on fewer).
+     */
+    unsigned prfReadPorts = 0;
 
     // Pipeline shape (paper Figure 5):
     // Fetch Decode | Rename | Queue Sched | Disp Disp RF RF | Exe

@@ -57,9 +57,23 @@ OutOfOrderCore::OutOfOrderCore(
       mem(config.mem),
       lsq(config.lsqSize), robHot(config.robSize),
       robCold(config.robSize), fetchBuf(config.fetchQueueSize()),
-      ckptPool(config.ckptPoolSize()), flight(&flightRecorder())
+      ckptPool(config.ckptPoolSize()), flight(&flightRecorder()),
+      portArb_(config.prfReadPorts)
 {
     wdNextAudit = cfg.watchdogAuditWindow();
+    if (cfg.prfReadPorts != 0) {
+        // A 2-source op can never issue on fewer than 2 ports: the
+        // all-or-nothing arbiter would deny it forever.
+        PRI_ASSERT(cfg.prfReadPorts >= 2,
+                   "prfReadPorts must be 0 (unlimited) or >= 2");
+        stPortReads = &sg.scalar("core.prfPortReads");
+        stPortInlineBypass = &sg.scalar("core.prfPortInlineBypass");
+        stPortStallOps = &sg.scalar("core.prfPortStallOps");
+        stPortStallCycles = &sg.scalar("core.prfPortStallCycles");
+    } else {
+        PRI_ASSERT(cfg.injectFault != InjectedFault::PortOverGrant,
+                   "PortOverGrant requires a finite port budget");
+    }
     for (auto cls : {0, 1}) {
         specAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
         actualAvail_[cls].assign(cfg.rename.renameTagSpace(), 0);
@@ -1097,6 +1111,10 @@ OutOfOrderCore::commitStage()
                 // writeback and commit diverges here.
                 rec.value = readThroughValue(e.dstCls, e.dstPreg,
                                              c.dstGen, c.wbValue);
+                // PortOverGrant consequence: the over-granted read
+                // returned garbage (see portRequest).
+                if (c.portCorrupted)
+                    rec.value ^= 0xdeadbeefULL;
             }
             rec.memAddr = isa::isMem(e.cls) ? c.wi.memAddr : 0;
             rec.taken = e.isBranch && c.wi.taken;
@@ -1137,6 +1155,44 @@ OutOfOrderCore::commitStage()
 // Select (issue)
 // ---------------------------------------------------------------
 
+bool
+OutOfOrderCore::portRequest(uint32_t idx)
+{
+    RobHot &e = robHot[idx];
+    unsigned need = 0, inlined = 0;
+    for (const auto &s : e.src) {
+        if (!s.valid)
+            continue;
+        s.imm ? ++inlined : ++need;
+    }
+    const bool denied_before = portArb_.deniedThisCycle();
+    if (!portArb_.request(need)) {
+        if (cfg.injectFault == InjectedFault::PortOverGrant &&
+            e.hasDst && !portFaultFiredThisCycle_) {
+            // Planted arbiter bug (checker validation): grant the
+            // denied request anyway — one issue too many past the
+            // budget, the classic off-by-one in a grant counter.
+            // The over-granted op would have read through bitlines
+            // the array doesn't have, so its dest value is marked
+            // corrupted; commitStage surfaces the stale read in the
+            // observed commit stream while the machine itself stays
+            // self-consistent (same silent-without-checker pattern
+            // as CommitWrongPath). Once per cycle.
+            portFaultFiredThisCycle_ = true;
+            portArb_.overGrant(need);
+            robCold[idx].portCorrupted = true;
+        } else {
+            if (!denied_before)
+                ++*stPortStallCycles;
+            ++*stPortStallOps;
+            return false;
+        }
+    }
+    *stPortReads += need;
+    *stPortInlineBypass += inlined;
+    return true;
+}
+
 void
 OutOfOrderCore::selectStage()
 {
@@ -1146,6 +1202,13 @@ OutOfOrderCore::selectStage()
     if (cfg.injectFault == InjectedFault::WedgeScheduler &&
         nCommitted >= kWedgeAfterCommits) {
         return;
+    }
+
+    // Read-port arbitration: the full budget becomes available each
+    // cycle; no carry-over, no reservation (port_arbiter.hh).
+    if (cfg.prfReadPorts != 0) {
+        portArb_.beginCycle();
+        portFaultFiredThisCycle_ = false;
     }
 
     if (cfg.eventWakeup) {
@@ -1196,6 +1259,12 @@ OutOfOrderCore::selectStage()
                 }
                 const unsigned k = fuIndex(e.cls);
                 if (fu[k] == 0)
+                    continue;
+                // Port denial leaves the ready bit set: the entry
+                // is genuinely ready, just structurally starved,
+                // and retries from the same age position next
+                // cycle (no scanDefer — its prediction is fine).
+                if (cfg.prfReadPorts != 0 && !portRequest(idx))
                     continue;
                 fu[k] -= 1;
                 ++issued;
@@ -1257,6 +1326,10 @@ OutOfOrderCore::selectStage()
         }
         const unsigned k = fuIndex(e.cls);
         if (fu[k] == 0) {
+            ++it;
+            continue;
+        }
+        if (cfg.prfReadPorts != 0 && !portRequest(idx)) {
             ++it;
             continue;
         }
@@ -1344,6 +1417,7 @@ OutOfOrderCore::renameStage()
         c.executed = false;
         c.retired = false;
         c.hasLsq = false;
+        c.portCorrupted = false;
         c.replays = 0;
         c.fetchCycle = f.fetchCycle;
         c.renameCycle = cycle;

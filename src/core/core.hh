@@ -32,6 +32,7 @@
 #include "core/checkpoint_pool.hh"
 #include "core/config.hh"
 #include "core/lsq.hh"
+#include "core/port_arbiter.hh"
 #include "memory/cache.hh"
 #include "rename/rename_unit.hh"
 #include "workload/walker.hh"
@@ -118,6 +119,9 @@ struct RobCold
     bool executed = false;
     bool retired = false;
     bool hasLsq = false;
+    /** PortOverGrant already corrupted this result (a replayed op
+     *  may be over-granted twice; XOR garbage must apply once). */
+    bool portCorrupted = false;
     unsigned replays = 0;
     uint64_t fetchCycle = 0;
     uint64_t renameCycle = 0;
@@ -438,6 +442,18 @@ class OutOfOrderCore
     /** Build + throw the structured stall diagnostic. */
     [[noreturn]] void raiseStall(ProgressStall::Kind kind);
 
+    // --- PRF read-port arbitration (cfg.prfReadPorts != 0) ---
+    /**
+     * Request read ports for every non-inlined source of @p idx
+     * (select calls in age order, after the FU check and before any
+     * resource is consumed). Grants update the port stats; a denial
+     * counts a structural stall and leaves the entry in the
+     * scheduler to retry next cycle. Under
+     * InjectedFault::PortOverGrant the first denial each cycle is
+     * granted anyway and the result corrupted (see the fault doc).
+     */
+    bool portRequest(uint32_t idx);
+
     bool srcSpecReady(const rename::SrcRead &s) const;
     bool srcActualReady(const rename::SrcRead &s) const;
     uint64_t &specAvail(isa::RegClass cls, isa::PhysRegId p);
@@ -525,6 +541,18 @@ class OutOfOrderCore
     HotVec<WakeLinks> wake_; ///< one record per ROB slot
 
     WakeupTelemetry wk;
+
+    // PRF read-port arbitration (cfg.prfReadPorts != 0; inert and
+    // cost-free when unlimited). The stat pointers are registered
+    // only for finite budgets: StatGroup::report() prints every
+    // registered stat, and unlimited-port reports must stay
+    // byte-identical to the pre-port-model output.
+    ReadPortArbiter portArb_;
+    StatScalar *stPortReads = nullptr;      ///< ports granted
+    StatScalar *stPortInlineBypass = nullptr; ///< imm srcs at issue
+    StatScalar *stPortStallOps = nullptr;   ///< denied issue attempts
+    StatScalar *stPortStallCycles = nullptr; ///< cycles with a denial
+    bool portFaultFiredThisCycle_ = false;
 
     // Fetch queue between fetch and rename: a fixed ring of
     // cfg.fetchQueueSize() slots whose storage (including the legacy

@@ -79,4 +79,32 @@ PrfModel::entriesWithinDelay(double delay_budget,
     return best;
 }
 
+unsigned
+PrfModel::readPortsWithinDelay(double delay_budget,
+                               const PrfGeometry &base, unsigned lo,
+                               unsigned hi)
+{
+    PRI_ASSERT(lo >= 1 && lo <= hi);
+    unsigned best = lo;
+    for (unsigned p = lo; p <= hi; ++p) {
+        PrfGeometry g = base;
+        g.readPorts = p;
+        if (rawDelay(g) <= delay_budget)
+            best = p;
+        else
+            break;
+    }
+    return best;
+}
+
+unsigned
+PrfModel::portsForIssueWidth(unsigned width, double inlined_frac)
+{
+    PRI_ASSERT(width >= 1 &&
+               inlined_frac >= 0.0 && inlined_frac <= 1.0);
+    const double needed = 2.0 * width * (1.0 - inlined_frac);
+    const unsigned p = static_cast<unsigned>(std::ceil(needed));
+    return p < 2 ? 2 : p;
+}
+
 } // namespace pri::rename

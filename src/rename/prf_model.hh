@@ -76,6 +76,26 @@ class PrfModel
     static unsigned entriesWithinDelay(double delay_budget,
                                        const PrfGeometry &base,
                                        unsigned lo, unsigned hi);
+
+    /**
+     * Largest read-port count (searching @p lo..@p hi) whose raw
+     * delay does not exceed @p delay_budget model units — the port
+     * dual of entriesWithinDelay: given a cycle-time budget, how
+     * many read ports can the array afford?
+     */
+    static unsigned readPortsWithinDelay(double delay_budget,
+                                         const PrfGeometry &base,
+                                         unsigned lo, unsigned hi);
+
+    /**
+     * Read ports a @p width -issue machine needs when a fraction
+     * @p inlined_frac of source operands is served from the map as
+     * inlined immediates (PRI) instead of the array: the classic
+     * 2 * width, scaled by the operands that still read the PRF,
+     * clamped to the arbiter's floor of 2.
+     */
+    static unsigned portsForIssueWidth(unsigned width,
+                                       double inlined_frac);
 };
 
 } // namespace pri::rename

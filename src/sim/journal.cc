@@ -13,9 +13,9 @@ namespace
 {
 
 /** Line format tag; bump when the field list changes. */
-constexpr const char *kTag = "PRIJ1";
-/** tag, key, 2 strings, width, 4 u64, 11 doubles, report, "." */
-constexpr size_t kFields = 22;
+constexpr const char *kTag = "PRIJ2";
+/** tag, key, 2 strings, width, 4 u64, 13 doubles, report, "." */
+constexpr size_t kFields = 24;
 
 /** Escape tabs/newlines/backslashes so a report is one field. */
 std::string
@@ -119,7 +119,9 @@ parseLine(const std::string &line, uint64_t &key, RunResult &r)
     ok = ok && f64(f[17], r.priEarlyFrees);
     ok = ok && f64(f[18], r.erEarlyFrees);
     ok = ok && f64(f[19], r.inlinedFrac);
-    r.report = unescape(f[20]);
+    ok = ok && f64(f[20], r.portStallsPerKInst);
+    ok = ok && f64(f[21], r.portInlineBypassFrac);
+    r.report = unescape(f[22]);
     return ok;
 }
 
@@ -162,6 +164,8 @@ formatLine(uint64_t key, const RunResult &r)
     addF64(r.priEarlyFrees);
     addF64(r.erEarlyFrees);
     addF64(r.inlinedFrac);
+    addF64(r.portStallsPerKInst);
+    addF64(r.portInlineBypassFrac);
     add(escape(r.report));
     add(".");
     line += '\n';

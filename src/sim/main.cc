@@ -6,7 +6,7 @@
  * Usage:
  *   pri_sim [-b benchmark] [-w width] [-s scheme] [-p pregs]
  *           [-n measureInsts] [-u warmupInsts] [-S seed] [-v]
- *           [--check-golden]
+ *           [--read-ports N] [--check-golden]
  *           [--sweep N] [--jobs N] [--batch K] [--journal PATH]
  *           [--timeout-ms N] [--cycle-budget N]
  *           [--watchdog-cycles N] [--no-watchdog]
@@ -66,7 +66,8 @@ parseScheme(const std::string &s)
     pri::fatal("unknown scheme '{}'", s);
 }
 
-/** "wedge", "wrong-path", "stale-gidx", optionally "@<point>". */
+/** "wedge", "wrong-path", "stale-gidx", "port-overgrant",
+ *  optionally "@<point>". */
 pri::core::InjectedFault
 parseFault(const std::string &spec, long &point)
 {
@@ -81,7 +82,9 @@ parseFault(const std::string &spec, long &point)
     if (kind == "wedge") return InjectedFault::WedgeScheduler;
     if (kind == "wrong-path") return InjectedFault::CommitWrongPath;
     if (kind == "stale-gidx") return InjectedFault::StaleWalkerGidx;
-    pri::fatal("unknown fault '{}' (wedge, wrong-path, stale-gidx)",
+    if (kind == "port-overgrant") return InjectedFault::PortOverGrant;
+    pri::fatal("unknown fault '{}' (wedge, wrong-path, stale-gidx, "
+               "port-overgrant)",
                kind);
 }
 
@@ -114,7 +117,7 @@ drawSweepPoint(const pri::sim::RunParams &base, size_t i)
 
 void
 printResult(const pri::sim::RunResult &r, unsigned pregs,
-            bool verbose)
+            unsigned read_ports, bool verbose)
 {
     std::printf("benchmark %s  width %u  scheme %s  pregs %u\n",
                 r.benchmark.c_str(), r.width, r.scheme.c_str(),
@@ -132,6 +135,12 @@ printResult(const pri::sim::RunResult &r, unsigned pregs,
                 "inlined %.3f\n",
                 r.branchMispredictRate, r.dl1MissRate,
                 r.inlinedFrac);
+    if (read_ports != 0) {
+        std::printf("read-ports %u  port-stalls/kinst %.2f  "
+                    "inline-bypass %.3f\n",
+                    read_ports, r.portStallsPerKInst,
+                    r.portInlineBypassFrac);
+    }
     if (r.goldenChecked > 0) {
         std::printf("golden-checked %llu commits, no divergence\n",
                     static_cast<unsigned long long>(
@@ -184,6 +193,9 @@ main(int argc, char **argv)
             p.seed = static_cast<uint64_t>(std::atoll(next()));
         } else if (a == "-v") {
             verbose = true;
+        } else if (a == "--read-ports") {
+            p.prfReadPorts =
+                static_cast<unsigned>(std::atoi(next()));
         } else if (a == "--check-golden") {
             p.checkGolden = true;
         } else if (a == "--sweep") {
@@ -220,6 +232,7 @@ main(int argc, char **argv)
                          "usage: pri_sim [-b bench] [-w width] "
                          "[-s scheme] [-p pregs] [-n insts] "
                          "[-u warmup] [-S seed] [-v] [-l] "
+                         "[--read-ports N] "
                          "[--check-golden] [--sweep N] [--jobs N] "
                          "[--batch K] "
                          "[--journal PATH] [--timeout-ms N] "
@@ -246,7 +259,7 @@ main(int argc, char **argv)
                 pri::fatal("{}", e.what());
             }
         }();
-        printResult(r, p.physRegs, verbose);
+        printResult(r, p.physRegs, p.prfReadPorts, verbose);
         return 0;
     }
 

@@ -33,6 +33,7 @@ coreConfigFor(const RunParams &params)
         cfg.tracedFrontEnd = false;
     if (params.schedSizeOverride)
         cfg.schedSize = params.schedSizeOverride;
+    cfg.prfReadPorts = params.prfReadPorts;
     cfg.injectFault = params.injectFault;
 
     // Watchdog / budget plumbing. PRI_WATCHDOG_CYCLES overrides the
@@ -114,6 +115,9 @@ SimInstance::step(uint64_t quantum)
         nw0 = stats.scalarValue("pri.narrowResultsInt") +
             stats.scalarValue("pri.narrowResultsFp");
         da0 = stats.scalarValue("rename.destAllocs");
+        ps0 = stats.scalarValue("core.prfPortStallOps");
+        pr0 = stats.scalarValue("core.prfPortReads");
+        pb0 = stats.scalarValue("core.prfPortInlineBypass");
         measureTarget = i0 + params.measureInsts;
         phase = Phase::Measure;
         if (quantum != kNoLimit)
@@ -197,6 +201,17 @@ SimInstance::finish()
         stats.scalarValue("pri.narrowResultsInt") +
         stats.scalarValue("pri.narrowResultsFp") - nw0;
     r.inlinedFrac = dests > 0 ? narrow_n / dests : 0.0;
+
+    r.portStallsPerKInst = insts_k > 0
+        ? (stats.scalarValue("core.prfPortStallOps") - ps0) / insts_k
+        : 0.0;
+    const double port_reads =
+        stats.scalarValue("core.prfPortReads") - pr0;
+    const double port_bypass =
+        stats.scalarValue("core.prfPortInlineBypass") - pb0;
+    r.portInlineBypassFrac = port_reads + port_bypass > 0
+        ? port_bypass / (port_reads + port_bypass)
+        : 0.0;
 
     r.report = stats.report("  ");
     return r;

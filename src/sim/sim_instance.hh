@@ -108,6 +108,10 @@ class SimInstance
     uint64_t c0 = 0;
     uint64_t i0 = 0;
     double mp0 = 0, br0 = 0, pf0 = 0, ef0 = 0, nw0 = 0, da0 = 0;
+    // PRF read-port counters (stay 0 when ports are unlimited; the
+    // stats are only registered for finite budgets and
+    // scalarValue() reads absent names as 0).
+    double ps0 = 0, pr0 = 0, pb0 = 0;
 };
 
 /** The env-override-resolved core config simulate() builds (also

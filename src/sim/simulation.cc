@@ -71,14 +71,17 @@ paramsHash(const RunParams &params)
                     static_cast<uint64_t>(params.scheme));
     h = hashCombine(h, params.physRegs, params.warmupInsts);
     h = hashCombine(h, params.measureInsts, params.seed);
-    h = hashCombine(h, params.checkInvariants ? 1 : 0,
-                    params.checkGolden ? 1 : 0);
-    h = hashCombine(h, params.goldenAuditInterval,
+    // checkGolden changes the persisted goldenChecked field;
+    // checkInvariants / goldenAuditInterval / injectTransientFails
+    // change no byte of the result record (the fuzzer asserts the
+    // transient-retry and audit-interval runs bit-identical) and
+    // are deliberately left out.
+    h = hashCombine(h, params.checkGolden ? 1 : 0,
                     params.schedSizeOverride);
     h = hashCombine(h, params.narrowBitsOverride,
                     static_cast<uint64_t>(params.injectFault));
     h = hashCombine(h, params.injectFreeWithoutInline ? 1 : 0,
-                    params.injectTransientFails);
+                    params.prfReadPorts);
     h = hashCombine(h, params.pooledCheckpoints ? 1 : 0,
                     params.eventWakeup ? 1 : 0);
     h = hashCombine(h, params.cycleBudget,
@@ -89,9 +92,15 @@ paramsHash(const RunParams &params)
 std::string
 paramsSummary(const RunParams &params)
 {
-    return fmtStr("{} / {} / w{} / pregs {} / seed {}",
-                  params.benchmark, schemeName(params.scheme),
-                  params.width, params.physRegs, params.seed);
+    std::string s =
+        fmtStr("{} / {} / w{} / pregs {} / seed {}",
+               params.benchmark, schemeName(params.scheme),
+               params.width, params.physRegs, params.seed);
+    // Appended only for finite budgets so unlimited-port sweep
+    // tables stay byte-identical to pre-port-model output.
+    if (params.prfReadPorts != 0)
+        s += fmtStr(" / ports {}", params.prfReadPorts);
+    return s;
 }
 
 RunResult

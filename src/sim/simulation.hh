@@ -84,6 +84,12 @@ struct RunParams
     unsigned goldenAuditInterval = 64;
     unsigned schedSizeOverride = 0;  ///< 0 = width preset's size
     unsigned narrowBitsOverride = 0; ///< 0 = width preset's bits
+    /**
+     * PRF read ports per cycle; 0 = unlimited (exactly the
+     * pre-port-model machine, byte-identical reports). Finite
+     * budgets must be >= 2; see core::CoreConfig::prfReadPorts.
+     */
+    unsigned prfReadPorts = 0;
     /** Planted bugs for diff-checker validation (tests only). */
     core::InjectedFault injectFault = core::InjectedFault::None;
     bool injectFreeWithoutInline = false;
@@ -169,6 +175,13 @@ struct RunResult
     double erEarlyFrees = 0.0;         ///< per 1k committed insts
     double inlinedFrac = 0.0;          ///< narrow results / dests
 
+    // PRF read-port pressure (0.0 when ports are unlimited).
+    double portStallsPerKInst = 0.0;   ///< denied issues / 1k insts
+    /** Source operands served from the map as inlined immediates,
+     *  as a fraction of all operands at issue — the port relief PRI
+     *  buys (reads + bypasses = operands). */
+    double portInlineBypassFrac = 0.0;
+
     /** Full stat report (for verbose output). */
     std::string report;
 };
@@ -185,10 +198,16 @@ class TransientError : public std::runtime_error
 
 /**
  * Deterministic digest of every RunParams field that can change the
- * simulation's result (benchmark, machine shape, scheme, seed,
- * budgets, planted faults). Excludes observation-only knobs —
- * attempt, watchdog settings, timeoutMs — so a journaled result
- * stays valid across retries and machines. Keys the sweep journal.
+ * journaled result record (benchmark, machine shape, scheme, seed,
+ * budgets, planted faults, read-port budget). Excludes fields that
+ * provably cannot — attempt, watchdog settings, timeoutMs,
+ * checkInvariants, goldenAuditInterval, injectTransientFails — so a
+ * journaled result stays valid across retries, machines, and
+ * observation settings, and adding a presentation knob to a harness
+ * never forks journal keys. checkGolden *is* hashed: it changes the
+ * persisted RunResult.goldenChecked field, so a checked request must
+ * never be satisfied by an unchecked run's record. Keys the sweep
+ * journal.
  */
 uint64_t paramsHash(const RunParams &params);
 

@@ -63,6 +63,9 @@ drawPoint(uint64_t seed, uint64_t index)
     static const unsigned kPregs[] = {48, 64, 96, 128};
     static const unsigned kSched[] = {16, 32, 64};
     static const unsigned kNarrowBits[] = {4, 7, 10, 12};
+    // Read-port budgets, unlimited twice so half the draws keep the
+    // classic machine (0 = no arbiter at all).
+    static const unsigned kPorts[] = {0, 0, 2, 3, 4, 8};
 
     sim::RunParams p;
     p.benchmark = kBenches[pick(1, std::size(kBenches))];
@@ -83,8 +86,12 @@ drawPoint(uint64_t seed, uint64_t index)
     // Front-end axis: traced replay vs legacy decode. The golden
     // model always decodes legacy, so every traced point is a full
     // traced-vs-legacy stream cross-check. (Salts 11/12 belong to
-    // the retry-policy test below.)
+    // the retry-policy test below, salt 14 to the batching test.)
     p.tracedFrontEnd = pick(13, 2) != 0;
+    // Read-port arbitration axis: a binding budget reorders issue,
+    // so every limited draw cross-checks the arbitrated machine
+    // against the golden model.
+    p.prfReadPorts = kPorts[pick(15, std::size(kPorts))];
     p.cycleBudget = 2'000'000;
     p.warmupInsts = 2000;
     p.measureInsts = 8000;
@@ -109,7 +116,9 @@ TEST(ConfigFuzz, RandomConfigsStayGoldenClean)
                      std::to_string(p.narrowBitsOverride) +
                      (p.pooledCheckpoints ? " pooled" : " legacy") +
                      (p.eventWakeup ? " event" : " poll") +
-                     (p.tracedFrontEnd ? " traced" : " decoded"));
+                     (p.tracedFrontEnd ? " traced" : " decoded") +
+                     " ports " +
+                     std::to_string(p.prfReadPorts));
         const auto r = sim::simulate(p);
         EXPECT_EQ(r.goldenChecked, r.committedTotal);
         EXPECT_GE(r.goldenChecked,

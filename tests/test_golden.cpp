@@ -226,6 +226,44 @@ TEST(DiffCheckerDeathTest, CatchesCommitWrongPath)
     EXPECT_DEATH(sim::simulate(p), "golden divergence");
 }
 
+TEST(DiffCheckerDeathTest, PortOverGrantIsSilentWithoutChecker)
+{
+    // The over-granting arbiter keeps the machine self-consistent
+    // and only the observed commit stream carries the stale read,
+    // so without the checker the run completes cleanly — the
+    // golden model is the unique detector.
+    auto p = checkedParams("gcc", 8,
+                           sim::Scheme::PriRefcountCkptcount);
+    p.checkGolden = false;
+    p.prfReadPorts = 2;
+    p.injectFault = core::InjectedFault::PortOverGrant;
+    const auto r = sim::simulate(p);
+    EXPECT_GE(r.committedTotal, p.warmupInsts + p.measureInsts);
+    EXPECT_EQ(r.goldenChecked, 0u);
+}
+
+TEST(DiffCheckerDeathTest, CatchesPortOverGrant)
+{
+    auto p = checkedParams("gcc", 8,
+                           sim::Scheme::PriRefcountCkptcount);
+    p.prfReadPorts = 2;
+    p.injectFault = core::InjectedFault::PortOverGrant;
+    EXPECT_DEATH(sim::simulate(p), "golden divergence");
+}
+
+/** The port-limited machine (without any planted fault) must stay
+ *  golden-clean: arbitration delays issue but never changes the
+ *  committed dataflow. */
+TEST(DiffChecker, PortLimitedMachineStaysClean)
+{
+    for (unsigned ports : {2u, 4u, 8u}) {
+        auto p = checkedParams("gcc", 8,
+                               sim::Scheme::PriRefcountCkptcount);
+        p.prfReadPorts = ports;
+        expectClean(p);
+    }
+}
+
 TEST(DiffCheckerDeathTest, CatchesFreeWithoutInline)
 {
     // The rename bug frees a narrow destination's physical register

@@ -67,6 +67,48 @@ TEST(PrfModel, EntriesWithinDelayInvertsRawDelay)
     EXPECT_GT(r2, 64u);
 }
 
+TEST(PrfModel, ReadPortsWithinDelayInvertsRawDelay)
+{
+    PrfGeometry base{64, 64, 8, 4};
+    const double budget = PrfModel::rawDelay(base);
+    EXPECT_EQ(PrfModel::readPortsWithinDelay(budget, base, 1, 32),
+              8u);
+    // A generous budget admits more ports, a tight one fewer.
+    EXPECT_GT(
+        PrfModel::readPortsWithinDelay(budget * 1.5, base, 1, 32),
+        8u);
+    EXPECT_LT(
+        PrfModel::readPortsWithinDelay(budget * 0.8, base, 1, 32),
+        8u);
+    // Monotone in the budget over a fine sweep.
+    unsigned prev = 0;
+    for (double scale = 0.7; scale <= 1.6; scale += 0.1) {
+        const unsigned p = PrfModel::readPortsWithinDelay(
+            budget * scale, base, 1, 32);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PrfModel, PortsForIssueWidthScalesWithInlining)
+{
+    // No inlining: the classic two read ports per issue slot.
+    EXPECT_EQ(PrfModel::portsForIssueWidth(4, 0.0), 8u);
+    EXPECT_EQ(PrfModel::portsForIssueWidth(8, 0.0), 16u);
+    // Inlined operands bypass the array: the port count shrinks
+    // proportionally, never below the arbiter floor of 2.
+    EXPECT_EQ(PrfModel::portsForIssueWidth(8, 0.5), 8u);
+    EXPECT_EQ(PrfModel::portsForIssueWidth(8, 1.0), 2u);
+    EXPECT_EQ(PrfModel::portsForIssueWidth(1, 0.9), 2u);
+    // Monotone non-increasing in the inlined fraction.
+    unsigned prev = ~0u;
+    for (double f = 0.0; f <= 1.0; f += 0.05) {
+        const unsigned p = PrfModel::portsForIssueWidth(8, f);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
 TEST(PrfModel, EnergyScalesWithEntriesAndWidth)
 {
     PrfGeometry g{64, 64, 8, 4};

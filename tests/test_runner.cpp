@@ -61,6 +61,8 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.priEarlyFrees, b.priEarlyFrees);
     EXPECT_EQ(a.erEarlyFrees, b.erEarlyFrees);
     EXPECT_EQ(a.inlinedFrac, b.inlinedFrac);
+    EXPECT_EQ(a.portStallsPerKInst, b.portStallsPerKInst);
+    EXPECT_EQ(a.portInlineBypassFrac, b.portInlineBypassFrac);
     EXPECT_EQ(a.report, b.report);
 }
 
@@ -311,8 +313,10 @@ TEST(SimulationRunner, JournalSkipsTornLines)
     std::remove(path.c_str());
 }
 
-/** The journal key ignores attempt/watchdog/timeout knobs but
- *  distinguishes everything that changes results. */
+/** The journal key ignores attempt/watchdog/timeout knobs and the
+ *  observation-only settings (invariant checks, audit cadence, the
+ *  transient-failure seam) but distinguishes everything that
+ *  changes the persisted result record. */
 TEST(SimulationRunner, ParamsHashSeparatesResultsOnly)
 {
     RunParams a;
@@ -321,6 +325,9 @@ TEST(SimulationRunner, ParamsHashSeparatesResultsOnly)
     b.watchdog = false;
     b.watchdogCycles = 777;
     b.timeoutMs = 123;
+    b.checkInvariants = true;
+    b.goldenAuditInterval = 16;
+    b.injectTransientFails = 2;
     EXPECT_EQ(paramsHash(a), paramsHash(b));
 
     for (auto mutate : std::vector<void (*)(RunParams &)>{
@@ -330,6 +337,8 @@ TEST(SimulationRunner, ParamsHashSeparatesResultsOnly)
              [](RunParams &p) { p.scheme = Scheme::PriPlusEr; },
              [](RunParams &p) { p.measureInsts += 1; },
              [](RunParams &p) { p.cycleBudget = 5; },
+             [](RunParams &p) { p.prfReadPorts = 4; },
+             [](RunParams &p) { p.checkGolden = true; },
              [](RunParams &p) {
                  p.injectFault =
                      core::InjectedFault::WedgeScheduler;

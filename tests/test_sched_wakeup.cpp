@@ -37,6 +37,8 @@ expectIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.priEarlyFrees, b.priEarlyFrees);
     EXPECT_EQ(a.erEarlyFrees, b.erEarlyFrees);
     EXPECT_EQ(a.inlinedFrac, b.inlinedFrac);
+    EXPECT_EQ(a.portStallsPerKInst, b.portStallsPerKInst);
+    EXPECT_EQ(a.portInlineBypassFrac, b.portInlineBypassFrac);
     EXPECT_EQ(a.report, b.report);
 }
 
