@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Sweep-daemon throughput harness: the fig10 grid pushed through
+ * (a) the in-process SimulationRunner, (b) a freshly started
+ * pri_sweepd with an empty store (cold), and (c) the same daemon
+ * again (warm — every point a store hit), written to
+ * BENCH_sweepd.json.
+ *
+ * Two gates ride along:
+ *  1. Daemon-served results (cold AND warm) must be byte-identical
+ *     to the in-process reference — the daemon is a cache, never a
+ *     result change.
+ *  2. The warm pass must cost < 10% of the cold pass: the
+ *     acceptance number for the PR.
+ *
+ * The daemon runs in-process (worker pool exec'd from this very
+ * binary), so the harness needs no prior setup and cleans up after
+ * itself.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hh"
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "sweepd/client.hh"
+#include "sweepd/daemon.hh"
+#include "sweepd/worker.hh"
+
+namespace
+{
+
+using namespace pri;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+const sim::Scheme kFig10Schemes[] = {
+    sim::Scheme::Base,
+    sim::Scheme::EarlyRelease,
+    sim::Scheme::PriRefcountCkptcount,
+    sim::Scheme::PriRefcountLazy,
+    sim::Scheme::PriIdealCkptcount,
+    sim::Scheme::PriIdealLazy,
+    sim::Scheme::PriPlusEr,
+    sim::Scheme::InfinitePregs,
+};
+
+/** The exact point list fig10_int_speedup prefetches. */
+std::vector<sim::RunParams>
+makeFig10Grid(const bench::Budget &budget)
+{
+    std::vector<sim::RunParams> grid;
+    for (const auto &name : bench::intBenchmarks()) {
+        for (unsigned width : {4u, 8u}) {
+            for (auto scheme : kFig10Schemes) {
+                for (uint64_t seed : bench::kSeeds) {
+                    sim::RunParams p;
+                    p.benchmark = name;
+                    p.width = width;
+                    p.scheme = scheme;
+                    p.warmupInsts = budget.warmup;
+                    p.measureInsts = budget.measure;
+                    p.seed = seed;
+                    grid.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+/** Submit the grid through a fresh client; returns wall seconds.
+ *  Dies loudly on any per-point failure. */
+double
+daemonLeg(const std::string &socket_path,
+          const std::vector<sim::RunParams> &grid,
+          std::vector<sim::RunResult> *results_out,
+          size_t *cached_out)
+{
+    auto client = sweepd::SweepdClient::connect(socket_path);
+    if (client == nullptr)
+        fatal("cannot connect to in-process daemon");
+    const auto t0 = Clock::now();
+    const auto outcomes = client->submit(grid);
+    const double secs = secondsSince(t0);
+    size_t cached = 0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok()) {
+            fatal("daemon failed point {} ({}): {}", i,
+                  sim::paramsSummary(grid[i]), outcomes[i].error);
+        }
+        cached += outcomes[i].cached ? 1 : 0;
+    }
+    if (results_out != nullptr) {
+        results_out->clear();
+        for (const auto &o : outcomes)
+            results_out->push_back(o.result);
+    }
+    if (cached_out != nullptr)
+        *cached_out = cached;
+    return secs;
+}
+
+/** Count report mismatches against the reference leg. */
+size_t
+mismatches(const std::vector<sim::RunParams> &grid,
+           const std::vector<sim::RunResult> &ref,
+           const std::vector<sim::RunResult> &got, const char *leg)
+{
+    size_t bad = 0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].report != got[i].report) {
+            ++bad;
+            std::printf("REPORT MISMATCH (%s) at point %zu (%s)\n",
+                        leg, i, sim::paramsSummary(grid[i]).c_str());
+        }
+    }
+    return bad;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // This binary hosts the daemon, whose worker pool respawns from
+    // /proc/self/exe — dispatch before anything else.
+    if (const int rc = sweepd::maybeRunAsWorker(argc, argv); rc >= 0)
+        return rc;
+
+    const auto opts = bench::parseOptions(argc, argv);
+    const unsigned jobs =
+        opts.jobs ? opts.jobs : sim::defaultJobs();
+
+    const auto grid = makeFig10Grid(opts.budget);
+    std::printf("== Sweep-daemon cold/warm throughput (fig10 grid) "
+                "==\n");
+    std::printf("%zu points, warmup %llu + measure %llu insts, "
+                "%u workers\n\n",
+                grid.size(),
+                static_cast<unsigned long long>(opts.budget.warmup),
+                static_cast<unsigned long long>(opts.budget.measure),
+                jobs);
+
+    // Reference leg: the in-process pool, same worker count.
+    std::vector<sim::RunResult> reference;
+    {
+        sim::SimulationRunner runner(jobs);
+        const auto t0 = Clock::now();
+        reference = runner.run(grid);
+        std::printf("in-process reference: %.2fs\n",
+                    secondsSince(t0));
+    }
+
+    // Fresh daemon, empty store, scratch socket.
+    const std::string scratch =
+        "/tmp/pri_bench_sweepd." + std::to_string(::getpid());
+    std::string rmcmd = "rm -rf '" + scratch + "'";
+    if (std::system(rmcmd.c_str()) != 0)
+        fatal("cannot clear {}", scratch);
+    sweepd::DaemonConfig cfg;
+    cfg.socketPath = scratch + ".sock";
+    cfg.storeDir = scratch;
+    cfg.workers = jobs;
+    cfg.verbose = false;
+    sweepd::Daemon daemon(cfg);
+    if (!daemon.start())
+        fatal("cannot start in-process daemon");
+
+    std::vector<sim::RunResult> cold_results, warm_results;
+    size_t cold_cached = 0, warm_cached = 0;
+    const double cold_secs = daemonLeg(cfg.socketPath, grid,
+                                       &cold_results, &cold_cached);
+    const double warm_secs = daemonLeg(cfg.socketPath, grid,
+                                       &warm_results, &warm_cached);
+    const uint64_t simulated = daemon.stats().simulated.load();
+    daemon.stop();
+    if (std::system(rmcmd.c_str()) != 0)
+        std::fprintf(stderr, "warning: %s not cleaned up\n",
+                     scratch.c_str());
+
+    size_t bad = mismatches(grid, reference, cold_results, "cold");
+    bad += mismatches(grid, reference, warm_results, "warm");
+
+    const double warm_frac =
+        cold_secs > 0 ? warm_secs / cold_secs : 1.0;
+    std::printf("\n%-24s %10s %12s\n", "leg", "seconds",
+                "store hits");
+    std::printf("%-24s %10.2f %9zu/%zu\n", "daemon cold", cold_secs,
+                cold_cached, grid.size());
+    std::printf("%-24s %10.2f %9zu/%zu\n", "daemon warm", warm_secs,
+                warm_cached, grid.size());
+    std::printf("warm/cold: %.1f%% (target < 10%%: %s)\n",
+                100.0 * warm_frac,
+                warm_frac < 0.10 ? "met" : "NOT met");
+    std::printf("%s\n",
+                bad == 0
+                    ? "daemon reports byte-identical to in-process"
+                    : "FAIL: daemon reports differ");
+
+    const std::string json_path =
+        opts.jsonPath.empty() ? "BENCH_sweepd.json" : opts.jsonPath;
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"points\": %zu,\n"
+            "  \"workers\": %u,\n"
+            "  \"warmupInsts\": %llu,\n"
+            "  \"measureInsts\": %llu,\n"
+            "  \"coldSecs\": %.3f,\n"
+            "  \"warmSecs\": %.3f,\n"
+            "  \"warmOverCold\": %.4f,\n"
+            "  \"coldStoreHits\": %zu,\n"
+            "  \"warmStoreHits\": %zu,\n"
+            "  \"simulated\": %llu,\n"
+            "  \"reportsIdentical\": %s\n"
+            "}\n",
+            grid.size(), jobs,
+            static_cast<unsigned long long>(opts.budget.warmup),
+            static_cast<unsigned long long>(opts.budget.measure),
+            cold_secs, warm_secs, warm_frac, cold_cached,
+            warm_cached, static_cast<unsigned long long>(simulated),
+            bad == 0 ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (bad != 0)
+        return 1;
+    if (warm_cached != grid.size()) {
+        std::printf("FAIL: warm pass missed the store (%zu/%zu)\n",
+                    warm_cached, grid.size());
+        return 1;
+    }
+    return warm_frac < 0.10 ? 0 : 1;
+}

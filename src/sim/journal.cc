@@ -2,177 +2,12 @@
 
 #include <csignal>
 #include <cstdlib>
-#include <vector>
 
 #include "common/logging.hh"
+#include "sim/result_codec.hh"
 
 namespace pri::sim
 {
-
-namespace
-{
-
-/** Line format tag; bump when the field list changes. */
-constexpr const char *kTag = "PRIJ2";
-/** tag, key, 2 strings, width, 4 u64, 13 doubles, report, "." */
-constexpr size_t kFields = 24;
-
-/** Escape tabs/newlines/backslashes so a report is one field. */
-std::string
-escape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-std::string
-unescape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (size_t i = 0; i < s.size(); ++i) {
-        if (s[i] != '\\' || i + 1 == s.size()) {
-            out += s[i];
-            continue;
-        }
-        switch (s[++i]) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          default: out += s[i];
-        }
-    }
-    return out;
-}
-
-std::vector<std::string>
-splitTabs(const std::string &line)
-{
-    std::vector<std::string> fields;
-    size_t start = 0;
-    while (true) {
-        const size_t tab = line.find('\t', start);
-        if (tab == std::string::npos) {
-            fields.push_back(line.substr(start));
-            return fields;
-        }
-        fields.push_back(line.substr(start, tab - start));
-        start = tab + 1;
-    }
-}
-
-/**
- * Parse one journal line. Returns false (leaving @p key / @p r
- * untouched garbage) for anything malformed — most importantly the
- * torn final line of a journal whose writer was SIGKILLed mid-write.
- */
-bool
-parseLine(const std::string &line, uint64_t &key, RunResult &r)
-{
-    const auto f = splitTabs(line);
-    if (f.size() != kFields || f[0] != kTag || f[kFields - 1] != ".")
-        return false;
-
-    char *end = nullptr;
-    key = std::strtoull(f[1].c_str(), &end, 16);
-    if (end == f[1].c_str() || *end != '\0')
-        return false;
-
-    r.benchmark = f[2];
-    r.scheme = f[3];
-
-    const auto u64 = [&](const std::string &s, uint64_t &out) {
-        char *e = nullptr;
-        out = std::strtoull(s.c_str(), &e, 10);
-        return e != s.c_str() && *e == '\0';
-    };
-    // Doubles are written with %a (hexfloat), which strtod parses
-    // back to the exact same bits — resumed reports stay identical.
-    const auto f64 = [&](const std::string &s, double &out) {
-        char *e = nullptr;
-        out = std::strtod(s.c_str(), &e);
-        return e != s.c_str() && *e == '\0';
-    };
-
-    uint64_t width = 0;
-    bool ok = u64(f[4], width);
-    r.width = static_cast<unsigned>(width);
-    ok = ok && u64(f[5], r.cycles) && u64(f[6], r.insts);
-    ok = ok && u64(f[7], r.committedTotal);
-    ok = ok && u64(f[8], r.goldenChecked);
-    ok = ok && f64(f[9], r.ipc);
-    ok = ok && f64(f[10], r.avgIntOccupancy);
-    ok = ok && f64(f[11], r.avgFpOccupancy);
-    ok = ok && f64(f[12], r.lifeAllocToWrite);
-    ok = ok && f64(f[13], r.lifeWriteToLastRead);
-    ok = ok && f64(f[14], r.lifeLastReadToRelease);
-    ok = ok && f64(f[15], r.branchMispredictRate);
-    ok = ok && f64(f[16], r.dl1MissRate);
-    ok = ok && f64(f[17], r.priEarlyFrees);
-    ok = ok && f64(f[18], r.erEarlyFrees);
-    ok = ok && f64(f[19], r.inlinedFrac);
-    ok = ok && f64(f[20], r.portStallsPerKInst);
-    ok = ok && f64(f[21], r.portInlineBypassFrac);
-    r.report = unescape(f[22]);
-    return ok;
-}
-
-std::string
-formatLine(uint64_t key, const RunResult &r)
-{
-    std::string line = kTag;
-    const auto add = [&](const std::string &s) {
-        line += '\t';
-        line += s;
-    };
-    char buf[64];
-    const auto addU64 = [&](uint64_t v) {
-        std::snprintf(buf, sizeof(buf), "%llu",
-                      static_cast<unsigned long long>(v));
-        add(buf);
-    };
-    const auto addF64 = [&](double v) {
-        std::snprintf(buf, sizeof(buf), "%a", v);
-        add(buf);
-    };
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(key));
-    add(buf);
-    add(r.benchmark);
-    add(r.scheme);
-    addU64(r.width);
-    addU64(r.cycles);
-    addU64(r.insts);
-    addU64(r.committedTotal);
-    addU64(r.goldenChecked);
-    addF64(r.ipc);
-    addF64(r.avgIntOccupancy);
-    addF64(r.avgFpOccupancy);
-    addF64(r.lifeAllocToWrite);
-    addF64(r.lifeWriteToLastRead);
-    addF64(r.lifeLastReadToRelease);
-    addF64(r.branchMispredictRate);
-    addF64(r.dl1MissRate);
-    addF64(r.priEarlyFrees);
-    addF64(r.erEarlyFrees);
-    addF64(r.inlinedFrac);
-    addF64(r.portStallsPerKInst);
-    addF64(r.portInlineBypassFrac);
-    add(escape(r.report));
-    add(".");
-    line += '\n';
-    return line;
-}
-
-} // namespace
 
 SweepJournal::SweepJournal(std::string path)
     : filePath(std::move(path))
@@ -209,7 +44,7 @@ SweepJournal::load()
         }
         uint64_t key = 0;
         RunResult r;
-        if (parseLine(line, key, r)) {
+        if (codec::parseResultLine(line, key, r)) {
             if (entries.emplace(key, std::move(r)).second)
                 ++loaded;
         } else {
@@ -249,7 +84,7 @@ SweepJournal::record(uint64_t key, const RunResult &result)
 {
     if (!enabled())
         return;
-    const std::string line = formatLine(key, result);
+    const std::string line = codec::formatResultLine(key, result);
     std::lock_guard<std::mutex> lock(mu);
     if (!entries.emplace(key, result).second)
         return; // duplicate point already persisted

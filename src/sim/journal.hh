@@ -4,7 +4,9 @@
  * points, keyed by paramsHash().
  *
  * Every successfully simulated RunParams is appended to the journal
- * file as one self-contained line (all RunResult fields, doubles in
+ * file as one self-contained PRIJ2 line (sim/result_codec.hh — the
+ * same audited serializer the pri_sweepd result store uses, so the
+ * two caches can never skew: all RunResult fields, doubles in
  * hexfloat so they round-trip bit-exactly, the stats report with
  * newlines/tabs escaped) and flushed immediately. On construction
  * the journal loads every well-formed line of an existing file, so

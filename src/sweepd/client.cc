@@ -1,0 +1,109 @@
+#include "client.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/result_codec.hh"
+#include "sweepd/protocol.hh"
+
+namespace pri::sweepd
+{
+
+std::unique_ptr<SweepdClient>
+SweepdClient::connect(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.empty() ||
+        socketPath.size() >= sizeof(addr.sun_path))
+        return nullptr;
+    std::strcpy(addr.sun_path, socketPath.c_str());
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return nullptr;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<SweepdClient>(new SweepdClient(fd));
+}
+
+SweepdClient::~SweepdClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::vector<PointOutcome>
+SweepdClient::submit(const std::vector<sim::RunParams> &batch)
+{
+    std::vector<PointOutcome> out(batch.size());
+    for (auto &o : out)
+        o.error = "daemon connection lost";
+    if (batch.empty())
+        return out;
+
+    std::string payload = "SUBMIT\n";
+    for (const auto &p : batch)
+        payload += sim::codec::formatParamsLine(p);
+    if (!writeFrame(fd, payload))
+        return out;
+
+    std::string frame, verb, body;
+    while (readFrame(fd, frame)) {
+        splitVerb(frame, verb, body);
+        unsigned long long idx = 0, flag = 0;
+        if (std::sscanf(verb.c_str(), "RESULT %llu %llu", &idx,
+                        &flag) == 2) {
+            if (idx >= out.size())
+                continue; // daemon bug; ignore rather than corrupt
+            uint64_t key = 0;
+            sim::RunResult r;
+            if (!sim::codec::parseResultLine(body, key, r)) {
+                out[idx].error = "malformed result from daemon";
+            } else if (key != sim::paramsHash(batch[idx])) {
+                // The integrity check this client exists for: a
+                // daemon whose params-hash audit disagrees with
+                // ours can never be silently believed.
+                out[idx].error =
+                    "daemon served a mismatching params-hash key";
+            } else {
+                out[idx].result = std::move(r);
+                out[idx].cached = flag != 0;
+                out[idx].error.clear();
+            }
+        } else if (std::sscanf(verb.c_str(), "ERROR %llu %llu", &idx,
+                               &flag) == 2) {
+            if (idx >= out.size())
+                continue;
+            out[idx].error =
+                body.empty() ? "daemon-side failure" : body;
+            out[idx].stalled = flag != 0;
+        } else if (verb.rfind("DONE", 0) == 0) {
+            return out;
+        }
+        // Anything else (OK/BAD from an interleaved query — we
+        // never interleave, but be liberal) is skipped.
+    }
+    return out; // connection lost mid-stream
+}
+
+std::string
+SweepdClient::query(const std::string &verb)
+{
+    if (!writeFrame(fd, verb))
+        return "";
+    std::string frame, reply_verb, body;
+    if (!readFrame(fd, frame))
+        return "";
+    splitVerb(frame, reply_verb, body);
+    return reply_verb == "OK" ? body : "";
+}
+
+} // namespace pri::sweepd

@@ -1,0 +1,594 @@
+#include "daemon.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "sim/result_codec.hh"
+#include "sweepd/protocol.hh"
+#include "sweepd/worker.hh"
+
+extern char **environ;
+
+namespace pri::sweepd
+{
+
+/** One client connection: the fd plus a mutex serializing frame
+ *  writes (dispatcher threads stream results concurrently with the
+ *  connection thread's cached replies). The fd is closed by the
+ *  last owner — the connection thread or a late delivery. */
+struct Daemon::ClientConn
+{
+    explicit ClientConn(int f) : fd(f) {}
+    ~ClientConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    int fd;
+    std::mutex writeMu;
+};
+
+/** One SUBMIT's completion tracker: the connection thread waits for
+ *  remaining == 0 before sending DONE. */
+struct Daemon::Submission
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+};
+
+/** One cache miss in flight: the point, and every (client, index)
+ *  waiting for it across all concurrent SUBMITs. */
+struct Daemon::Job
+{
+    uint64_t key = 0;
+    sim::RunParams params;
+    unsigned attempts = 0;
+
+    struct Waiter
+    {
+        std::shared_ptr<ClientConn> conn;
+        std::shared_ptr<Submission> sub;
+        uint32_t index;
+    };
+    std::vector<Waiter> waiters;
+};
+
+namespace
+{
+
+/** Split a SUBMIT body into its lines (no trailing empties). */
+std::vector<std::string>
+splitLines(const std::string &body)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < body.size()) {
+        size_t nl = body.find('\n', start);
+        if (nl == std::string::npos)
+            nl = body.size();
+        if (nl > start)
+            lines.push_back(body.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonConfig config) : cfg(std::move(config)) {}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+bool
+Daemon::start()
+{
+    resultStore = std::make_unique<ResultStore>(cfg.storeDir);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg.socketPath.empty() ||
+        cfg.socketPath.size() >= sizeof(addr.sun_path)) {
+        warn("sweepd: bad socket path '{}'", cfg.socketPath);
+        return false;
+    }
+    std::strcpy(addr.sun_path, cfg.socketPath.c_str());
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd < 0) {
+        warn("sweepd: socket(): {}", std::strerror(errno));
+        return false;
+    }
+    // A previous daemon's stale socket file would make bind fail;
+    // a *live* daemon on the same path is lost either way, so take
+    // the path over.
+    ::unlink(cfg.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        warn("sweepd: cannot listen on '{}': {}", cfg.socketPath,
+             std::strerror(errno));
+        ::close(listenFd);
+        listenFd = -1;
+        return false;
+    }
+
+    if (cfg.workers == 0)
+        cfg.workers = 1;
+    dispatchers.reserve(cfg.workers);
+    for (unsigned slot = 0; slot < cfg.workers; ++slot)
+        dispatchers.emplace_back(&Daemon::dispatchLoop, this, slot);
+    acceptThread = std::thread(&Daemon::acceptLoop, this);
+    started = true;
+
+    if (cfg.verbose) {
+        inform("pri_sweepd: serving on {} (store {}, {} cached "
+               "result(s), {} workers)",
+               cfg.socketPath, cfg.storeDir, resultStore->entries(),
+               cfg.workers);
+    }
+    return true;
+}
+
+void
+Daemon::stop()
+{
+    if (!started.exchange(false))
+        return;
+    stopping = true;
+
+    // Interrupt accept4() with shutdown() only; closing (and
+    // poisoning the member) while the accept thread still reads it
+    // would race, and the freed fd number could be recycled under
+    // its feet. Close after the join.
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+    if (acceptThread.joinable())
+        acceptThread.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+
+    // Dispatchers drain whatever is still queued (so every pending
+    // SUBMIT settles), then quit their workers and exit.
+    queueCv.notify_all();
+    for (auto &t : dispatchers)
+        t.join();
+    dispatchers.clear();
+
+    // Every job has completed, so connection threads are back in
+    // readFrame(); unblock the ones whose client is still attached.
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        conns.swap(connThreads);
+        for (auto &weak : connFds) {
+            if (auto conn = weak.lock())
+                ::shutdown(conn->fd, SHUT_RDWR);
+        }
+        connFds.clear();
+    }
+    for (auto &t : conns) {
+        if (t.joinable())
+            t.join();
+    }
+
+    ::unlink(cfg.socketPath.c_str());
+    if (cfg.verbose)
+        inform("pri_sweepd: stopped ({} result(s) in store)",
+               resultStore->entries());
+}
+
+void
+Daemon::acceptLoop()
+{
+    while (!stopping) {
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket closed: shutting down
+        }
+        counters.connections.fetch_add(1);
+        auto conn = std::make_shared<ClientConn>(fd);
+        std::lock_guard<std::mutex> lock(connMu);
+        connFds.push_back(conn);
+        connThreads.emplace_back(
+            [this, conn] { serveConnection(conn); });
+    }
+}
+
+void
+Daemon::serveConnection(std::shared_ptr<ClientConn> conn)
+{
+    std::string payload, verb, body;
+    while (readFrame(conn->fd, payload)) {
+        splitVerb(payload, verb, body);
+        if (verb == "SUBMIT") {
+            counters.submits.fetch_add(1);
+            handleSubmit(conn, body);
+        } else if (verb == "STATUS") {
+            std::lock_guard<std::mutex> wlock(conn->writeMu);
+            writeFrame(conn->fd, "OK\n" + statusText());
+        } else if (verb == "STATS") {
+            std::lock_guard<std::mutex> wlock(conn->writeMu);
+            writeFrame(conn->fd, "OK\n" + statsText());
+        } else {
+            std::lock_guard<std::mutex> wlock(conn->writeMu);
+            writeFrame(conn->fd,
+                       fmtStr("BAD\nunknown verb '{}'", verb));
+        }
+    }
+    // Client went away (or stop() shut the fd down). The fd itself
+    // dies with the last shared_ptr — a straggling delivery may
+    // still hold one.
+    ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void
+Daemon::handleSubmit(const std::shared_ptr<ClientConn> &conn,
+                     const std::string &body)
+{
+    const auto lines = splitLines(body);
+    auto sub = std::make_shared<Submission>();
+    uint64_t hits = 0, misses = 0;
+
+    for (uint32_t i = 0; i < lines.size(); ++i) {
+        counters.points.fetch_add(1);
+        sim::RunParams p;
+        p.timeoutMs = cfg.timeoutMs;
+        if (!sim::codec::parseParamsLine(lines[i], p)) {
+            counters.errors.fetch_add(1);
+            std::lock_guard<std::mutex> wlock(conn->writeMu);
+            writeFrame(conn->fd,
+                       fmtStr("ERROR {} 0\nmalformed params line",
+                              i));
+            continue;
+        }
+        const uint64_t key = sim::paramsHash(p);
+
+        // Tier resolution. The in-flight check and the store
+        // re-check sit under one lock, and completion publishes to
+        // the store BEFORE leaving the in-flight table — so between
+        // the two checks a key is always visible in at least one
+        // place, and no interleaving of clients can simulate it
+        // twice.
+        sim::RunResult cached;
+        bool send_cached = false;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            const auto it = inflight.find(key);
+            if (it != inflight.end()) {
+                it->second->waiters.push_back({conn, sub, i});
+                {
+                    std::lock_guard<std::mutex> slock(sub->mu);
+                    ++sub->remaining;
+                }
+                counters.inflightHits.fetch_add(1);
+                ++misses;
+            } else if (resultStore->lookup(key, cached)) {
+                send_cached = true;
+            } else {
+                auto job = std::make_unique<Job>();
+                job->key = key;
+                job->params = std::move(p);
+                job->waiters.push_back({conn, sub, i});
+                {
+                    std::lock_guard<std::mutex> slock(sub->mu);
+                    ++sub->remaining;
+                }
+                inflight.emplace(key, job.get());
+                queue.push_back(std::move(job));
+                queueCv.notify_one();
+                ++misses;
+            }
+        }
+        if (send_cached) {
+            counters.storeHits.fetch_add(1);
+            ++hits;
+            std::lock_guard<std::mutex> wlock(conn->writeMu);
+            writeFrame(conn->fd,
+                       fmtStr("RESULT {} 1\n", i) +
+                           sim::codec::formatResultLine(key, cached));
+        }
+    }
+
+    // Every point registered; wait for the streamed deliveries to
+    // settle, then close the SUBMIT out.
+    {
+        std::unique_lock<std::mutex> slock(sub->mu);
+        sub->cv.wait(slock, [&] { return sub->remaining == 0; });
+    }
+    std::lock_guard<std::mutex> wlock(conn->writeMu);
+    writeFrame(conn->fd, fmtStr("DONE {} {}", hits, misses));
+}
+
+Daemon::WorkerProc
+Daemon::spawnWorker()
+{
+    // Serialized: a sibling dispatcher's posix_spawn must not
+    // observe a half-set-up socketpair, or the child end can leak
+    // into that sibling's worker and keep the pair open after this
+    // worker dies.
+    static std::mutex spawn_mu;
+    std::lock_guard<std::mutex> spawn_lock(spawn_mu);
+
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) !=
+        0) {
+        warn("sweepd: socketpair(): {}", std::strerror(errno));
+        return {};
+    }
+    // The child's end must survive the exec — but ONLY into the
+    // intended child. Clearing FD_CLOEXEC in the parent would let a
+    // concurrently spawned sibling inherit this worker's write end,
+    // and then a crashed worker would never read as EOF (the
+    // sibling keeps the pair open). adddup2(fd, fd) clears
+    // FD_CLOEXEC inside the child alone.
+    posix_spawn_file_actions_t actions;
+    ::posix_spawn_file_actions_init(&actions);
+    ::posix_spawn_file_actions_adddup2(&actions, sv[1], sv[1]);
+
+    const std::string argv0 = cfg.workerArgv0.empty()
+        ? std::string("/proc/self/exe")
+        : cfg.workerArgv0;
+    const std::string fd_arg = std::to_string(sv[1]);
+    const char *argv[] = {argv0.c_str(), kWorkerFdFlag,
+                          fd_arg.c_str(), nullptr};
+    pid_t pid = -1;
+    const int rc =
+        ::posix_spawn(&pid, argv0.c_str(), &actions, nullptr,
+                      const_cast<char **>(argv), environ);
+    ::posix_spawn_file_actions_destroy(&actions);
+    ::close(sv[1]);
+    if (rc != 0) {
+        ::close(sv[0]);
+        warn("sweepd: cannot spawn worker '{}': {}", argv0,
+             std::strerror(rc));
+        return {};
+    }
+    return {pid, sv[0]};
+}
+
+namespace
+{
+
+/** Wait for a worker reply, watching the process as well as the
+ *  pipe. EOF alone is not a reliable death signal: if the child end
+ *  of the socketpair ever leaks into another long-lived process
+ *  (fd-inheritance races around concurrent spawns), a SIGKILLed
+ *  worker leaves the pair open and a blocking read would hang the
+ *  dispatcher forever. Poll with a short tick and check
+ *  waitpid(WNOHANG) between ticks so a dead worker is detected by
+ *  pid no matter who still holds the socket. */
+bool
+readWorkerReply(int fd, pid_t &pid, std::string &payload)
+{
+    while (true) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (rc > 0)
+            return readFrame(fd, payload);
+        if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid) {
+            pid = -1; // already reaped
+            return false;
+        }
+    }
+}
+
+} // namespace
+
+void
+Daemon::dispatchLoop(unsigned slot)
+{
+    (void)slot;
+    WorkerProc w = spawnWorker();
+    std::string payload, verb, body;
+
+    const auto reap = [&] {
+        if (w.fd >= 0) {
+            ::close(w.fd);
+            w.fd = -1;
+        }
+        if (w.pid > 0) {
+            ::waitpid(w.pid, nullptr, 0);
+            w.pid = -1;
+        }
+    };
+
+    while (true) {
+        std::unique_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            queueCv.wait(lock, [&] {
+                return stopping.load() || !queue.empty();
+            });
+            if (queue.empty())
+                break; // stopping, and fully drained
+            job = std::move(queue.front());
+            queue.pop_front();
+        }
+
+        sim::RunResult result;
+        std::string error;
+        bool ok = false, stalled = false;
+        while (true) {
+            bool crash = false;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                crash = cfg.killDispatch >= 0 &&
+                    dispatchSeq == cfg.killDispatch;
+                ++dispatchSeq;
+            }
+            ++job->attempts;
+            if (w.fd < 0)
+                w = spawnWorker();
+
+            const bool sent = w.fd >= 0 &&
+                writeFrame(w.fd,
+                           fmtStr("JOB {} {}\n", crash ? 1 : 0,
+                                  cfg.timeoutMs) +
+                               sim::codec::formatParamsLine(
+                                   job->params));
+            if (!sent || !readWorkerReply(w.fd, w.pid, payload)) {
+                // The worker vanished mid-point (or could not be
+                // spawned): the defining fault this pool exists to
+                // contain. Reap, respawn on the next attempt, and
+                // charge only this point.
+                if (w.fd >= 0 || w.pid > 0) {
+                    counters.workerCrashes.fetch_add(1);
+                    warn("sweepd: worker died on {} (attempt {})",
+                         sim::paramsSummary(job->params),
+                         job->attempts);
+                }
+                reap();
+                error = "worker process died mid-point";
+                stalled = false;
+            } else {
+                splitVerb(payload, verb, body);
+                if (verb == "RES") {
+                    uint64_t key = 0;
+                    if (!sim::codec::parseResultLine(body, key,
+                                                     result)) {
+                        error = "malformed worker reply";
+                    } else if (key != job->key) {
+                        error = fmtStr(
+                            "worker/daemon params-hash mismatch "
+                            "({} vs {})",
+                            key, job->key);
+                    } else {
+                        ok = true;
+                    }
+                } else if (verb.rfind("ERR", 0) == 0) {
+                    stalled = verb == "ERR 1";
+                    error = body;
+                } else {
+                    error = fmtStr("unexpected worker verb '{}'",
+                                   verb);
+                }
+            }
+
+            if (ok || stalled || job->attempts >= cfg.maxAttempts)
+                break;
+            counters.retries.fetch_add(1);
+        }
+        completeJob(std::move(job), ok, stalled, result, error);
+    }
+
+    if (w.fd >= 0)
+        writeFrame(w.fd, "QUIT");
+    reap();
+}
+
+void
+Daemon::completeJob(std::unique_ptr<Job> job, bool ok, bool stalled,
+                    const sim::RunResult &result,
+                    const std::string &error)
+{
+    const uint64_t key = job->key;
+
+    // Publish BEFORE leaving the in-flight table: a submit that
+    // misses in-flight after this line is guaranteed to hit the
+    // store (see handleSubmit).
+    if (ok) {
+        resultStore->publish(key, result);
+        counters.simulated.fetch_add(1);
+    } else {
+        counters.errors.fetch_add(1);
+    }
+
+    std::vector<Job::Waiter> waiters;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        inflight.erase(key);
+        waiters = std::move(job->waiters);
+    }
+
+    const std::string result_line =
+        ok ? sim::codec::formatResultLine(key, result)
+           : std::string();
+    for (const auto &wt : waiters) {
+        const std::string frame = ok
+            ? fmtStr("RESULT {} 0\n", wt.index) + result_line
+            : fmtStr("ERROR {} {}\n", wt.index, stalled ? 1 : 0) +
+                error;
+        {
+            std::lock_guard<std::mutex> wlock(wt.conn->writeMu);
+            // A vanished client just loses its stream; the result
+            // is in the store for its next attempt.
+            writeFrame(wt.conn->fd, frame);
+        }
+        {
+            std::lock_guard<std::mutex> slock(wt.sub->mu);
+            --wt.sub->remaining;
+        }
+        wt.sub->cv.notify_all();
+    }
+}
+
+std::string
+Daemon::statusText()
+{
+    size_t queued, running;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queued = queue.size();
+        running = inflight.size() - std::min(inflight.size(), queued);
+    }
+    return fmtStr(
+        "pri_sweepd on {}\nstore {} ({} result(s))\n"
+        "{} worker(s), {} point(s) running, {} queued\n"
+        "served {} point(s): {} store hit(s), {} deduped in "
+        "flight, {} simulated, {} failed\n",
+        cfg.socketPath, cfg.storeDir, resultStore->entries(),
+        cfg.workers, running, queued, counters.points.load(),
+        counters.storeHits.load(), counters.inflightHits.load(),
+        counters.simulated.load(), counters.errors.load());
+}
+
+std::string
+Daemon::statsText()
+{
+    size_t queued, infl;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queued = queue.size();
+        infl = inflight.size();
+    }
+    return fmtStr("connections {}\nsubmits {}\npoints {}\n"
+                  "storeHits {}\ninflightHits {}\nsimulated {}\n"
+                  "errors {}\nworkerCrashes {}\nretries {}\n"
+                  "storeEntries {}\nqueued {}\ninflight {}\n"
+                  "workers {}\n",
+                  counters.connections.load(),
+                  counters.submits.load(), counters.points.load(),
+                  counters.storeHits.load(),
+                  counters.inflightHits.load(),
+                  counters.simulated.load(), counters.errors.load(),
+                  counters.workerCrashes.load(),
+                  counters.retries.load(), resultStore->entries(),
+                  queued, infl, cfg.workers);
+}
+
+} // namespace pri::sweepd

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The pri_sweepd daemon: a persistent sweep service that turns
+ * re-simulation into cache hits.
+ *
+ * Front end: a unix-domain SOCK_STREAM socket speaking the
+ * length-prefixed frames of protocol.hh, one thread per client
+ * connection. A SUBMIT's points are resolved in three tiers, under
+ * one lock so the invariant "a key is simulated at most once per
+ * store lifetime" holds for any client interleaving:
+ *
+ *   1. store hit   — served immediately from the content-addressed
+ *                    ResultStore (bit-exact: PRIJ2 hexfloat lines).
+ *   2. in-flight   — an identical point (same paramsHash) is being
+ *                    simulated for another client (or earlier in
+ *                    this SUBMIT); this client is added to the
+ *                    job's waiter list and the result fans out to
+ *                    everyone when it lands. Two harnesses sweeping
+ *                    overlapping grids never simulate a shared
+ *                    point twice.
+ *   3. miss        — a new job is queued for the worker pool.
+ *
+ * Results stream back per point as they land (RESULT/ERROR frames,
+ * completion order), then DONE.
+ *
+ * Back end: N worker *processes* (spawned from /proc/self/exe via
+ * worker.hh), one dispatcher thread each. A worker that dies
+ * mid-point — crash, OOM kill, the --inject-fault drill — costs
+ * exactly that point's attempt: the dispatcher reaps the corpse,
+ * respawns the worker, and retries the point per RetryPolicy;
+ * every other point is untouched. Stalls (the in-worker watchdog)
+ * are deterministic and fail the point immediately, like the
+ * in-process runner.
+ */
+
+#ifndef PRI_SWEEPD_DAEMON_HH
+#define PRI_SWEEPD_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "sim/simulation.hh"
+#include "sweepd/store.hh"
+
+namespace pri::sweepd
+{
+
+struct DaemonConfig
+{
+    std::string socketPath;
+    std::string storeDir;
+    unsigned workers = 2;
+    /** Per-point attempts across worker crashes and plain errors
+     *  (stalls never retry), sim::RetryPolicy semantics. */
+    unsigned maxAttempts = 3;
+    /** Per-point wall-clock budget handed to workers (0 = none). */
+    uint64_t timeoutMs = 0;
+    /**
+     * Binary to exec for workers; empty = /proc/self/exe. The
+     * binary must call worker.hh maybeRunAsWorker() first thing.
+     */
+    std::string workerArgv0;
+    /**
+     * Crash drill (--inject-fault kill@K): the K-th job dispatch
+     * (0-based, counted across all workers) SIGKILLs its worker
+     * mid-point, once. The daemon must retry and the sweep must
+     * still finish byte-identical. -1 = off.
+     */
+    long killDispatch = -1;
+    /** Announce serving/shutdown on stderr (off in unit tests). */
+    bool verbose = true;
+};
+
+/** Daemon-lifetime counters, readable while serving. */
+struct DaemonStats
+{
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> submits{0};
+    std::atomic<uint64_t> points{0};       ///< points submitted
+    std::atomic<uint64_t> storeHits{0};
+    std::atomic<uint64_t> inflightHits{0}; ///< deduped onto a job
+    std::atomic<uint64_t> simulated{0};    ///< fresh results
+    std::atomic<uint64_t> errors{0};       ///< points failed
+    std::atomic<uint64_t> workerCrashes{0};
+    std::atomic<uint64_t> retries{0};      ///< re-dispatches
+};
+
+/** The sweep daemon (see @file). Construct, start(), keep working
+ *  (serving happens on background threads), stop() when done. */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind the socket, open the store, spawn workers, and begin
+     * accepting in a background thread. Returns false (with a
+     * warning) when the socket or store cannot be set up.
+     */
+    bool start();
+
+    /** Drain and shut down: close the socket, finish queued jobs'
+     *  bookkeeping, quit workers, join every thread. Idempotent. */
+    void stop();
+
+    const DaemonStats &stats() const { return counters; }
+    const ResultStore *store() const { return resultStore.get(); }
+
+  private:
+    struct ClientConn;
+    struct Submission;
+    struct Job;
+    struct WorkerProc
+    {
+        pid_t pid = -1;
+        int fd = -1;
+    };
+
+    void acceptLoop();
+    void serveConnection(std::shared_ptr<ClientConn> conn);
+    void handleSubmit(const std::shared_ptr<ClientConn> &conn,
+                      const std::string &body);
+    std::string statusText();
+    std::string statsText();
+
+    void dispatchLoop(unsigned slot);
+    WorkerProc spawnWorker();
+    void completeJob(std::unique_ptr<Job> job, bool ok, bool stalled,
+                     const sim::RunResult &result,
+                     const std::string &error);
+
+    DaemonConfig cfg;
+    DaemonStats counters;
+    std::unique_ptr<ResultStore> resultStore;
+
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> started{false};
+
+    std::mutex mu; ///< guards queue, inflight, dispatch counter
+    std::condition_variable queueCv;
+    std::deque<std::unique_ptr<Job>> queue;
+    std::unordered_map<uint64_t, Job *> inflight;
+    long dispatchSeq = 0;
+
+    std::thread acceptThread;
+    std::vector<std::thread> dispatchers;
+    std::mutex connMu;
+    std::vector<std::thread> connThreads;
+    /** Live connections, so stop() can shut their fds down and
+     *  unblock connection threads parked in readFrame(). */
+    std::vector<std::weak_ptr<ClientConn>> connFds;
+};
+
+} // namespace pri::sweepd
+
+#endif // PRI_SWEEPD_DAEMON_HH

@@ -1,0 +1,115 @@
+#include "protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace pri::sweepd
+{
+
+namespace
+{
+
+/**
+ * send() with MSG_NOSIGNAL so a disappeared peer surfaces as EPIPE
+ * instead of killing the process; falls back to write() for plain
+ * pipes (worker fds are socketpairs, so this path is sockets-only
+ * in practice).
+ */
+ssize_t
+sendSome(int fd, const void *buf, size_t len)
+{
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0 || errno != ENOTSOCK)
+        return n;
+    return ::write(fd, buf, len);
+}
+
+bool
+writeAll(int fd, const void *buf, size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        const ssize_t n = sendSome(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *buf, size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-frame (or before one)
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrame)
+        return false;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    unsigned char hdr[4] = {
+        static_cast<unsigned char>(len & 0xff),
+        static_cast<unsigned char>((len >> 8) & 0xff),
+        static_cast<unsigned char>((len >> 16) & 0xff),
+        static_cast<unsigned char>((len >> 24) & 0xff),
+    };
+    return writeAll(fd, hdr, sizeof(hdr)) &&
+        writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    unsigned char hdr[4];
+    if (!readAll(fd, hdr, sizeof(hdr)))
+        return false;
+    const uint32_t len = static_cast<uint32_t>(hdr[0]) |
+        (static_cast<uint32_t>(hdr[1]) << 8) |
+        (static_cast<uint32_t>(hdr[2]) << 16) |
+        (static_cast<uint32_t>(hdr[3]) << 24);
+    if (len > kMaxFrame)
+        return false;
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len);
+}
+
+void
+splitVerb(const std::string &payload, std::string &verb_line,
+          std::string &body)
+{
+    const size_t nl = payload.find('\n');
+    if (nl == std::string::npos) {
+        verb_line = payload;
+        body.clear();
+        return;
+    }
+    verb_line = payload.substr(0, nl);
+    body = payload.substr(nl + 1);
+}
+
+} // namespace pri::sweepd

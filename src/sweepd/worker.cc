@@ -1,0 +1,110 @@
+#include "worker.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "sim/result_codec.hh"
+#include "sim/runner.hh"
+#include "sweepd/protocol.hh"
+
+namespace pri::sweepd
+{
+
+namespace
+{
+
+/** Parse "JOB <crash> <timeoutMs>". */
+bool
+parseJobHeader(const std::string &verb_line, bool &crash,
+               uint64_t &timeout_ms)
+{
+    unsigned long long c = 0, t = 0;
+    if (std::sscanf(verb_line.c_str(), "JOB %llu %llu", &c, &t) != 2)
+        return false;
+    crash = c != 0;
+    timeout_ms = t;
+    return true;
+}
+
+} // namespace
+
+int
+workerMain(int fd)
+{
+    // Crash handlers so a worker that dies hard still leaves a
+    // flight-recorder dump on the daemon's stderr (workers inherit
+    // it), naming the point that killed it.
+    installCrashHandlers();
+
+    std::string payload, verb, body;
+    while (readFrame(fd, payload)) {
+        splitVerb(payload, verb, body);
+        if (verb == "QUIT")
+            return 0;
+
+        bool crash = false;
+        uint64_t timeout_ms = 0;
+        if (!parseJobHeader(verb, crash, timeout_ms)) {
+            writeFrame(fd, fmtStr("ERR 0\nworker: bad frame '{}'",
+                                  verb));
+            continue;
+        }
+        if (crash) {
+            // --inject-fault drill: die the way a real simulator
+            // crash would — no reply, no destructors, just a
+            // vanished process mid-point.
+            std::raise(SIGKILL);
+        }
+
+        sim::RunParams p;
+        // Machine-local policy (not on the wire, not hashed): the
+        // daemon's per-point wall-clock budget.
+        p.timeoutMs = timeout_ms;
+        if (!sim::codec::parseParamsLine(body, p)) {
+            writeFrame(fd, "ERR 0\nworker: malformed params line");
+            continue;
+        }
+
+        // One point through the standard resilient execution stack:
+        // the runner wraps simulate() in error capture, simulate()
+        // arms the watchdog and the flight recorder. Retries stay
+        // daemon-side where crashes are also visible, so the runner
+        // gets a single attempt.
+        sim::SimulationRunner runner(1);
+        const auto outcomes = runner.runCaptured({p});
+        const auto &o = outcomes.front();
+        if (o.ok()) {
+            if (!writeFrame(fd,
+                            "RES\n" + sim::codec::formatResultLine(
+                                          sim::paramsHash(p),
+                                          o.result))) {
+                return 1; // daemon went away
+            }
+        } else {
+            if (!writeFrame(fd, fmtStr("ERR {}\n{}",
+                                       o.stalled ? 1 : 0, o.error)))
+                return 1;
+        }
+    }
+    return 0; // daemon closed the pair: shut down
+}
+
+int
+maybeRunAsWorker(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], kWorkerFdFlag) == 0)
+            return workerMain(std::atoi(argv[i + 1]));
+    }
+    return -1;
+}
+
+} // namespace pri::sweepd
