@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "faults/fault_spec.hh"
 #include "memory/cache.hh"
 #include "rename/rename_unit.hh"
 
@@ -172,6 +173,16 @@ struct CoreConfig
 
     /** Planted bug for diff-checker validation; see InjectedFault. */
     InjectedFault injectFault = InjectedFault::None;
+
+    /**
+     * Declarative transient fault (soft-error campaign injection,
+     * DESIGN.md §17). Unlike InjectedFault — persistent logic bugs
+     * planted to validate the checker — this corrupts one storage
+     * cell exactly once at a deterministic, counter-derived point
+     * and then lets the machine run; the campaign layer classifies
+     * what happened. Disabled (site None) in normal runs.
+     */
+    faults::FaultSpec faultSpec;
 
     /**
      * Forward-progress watchdog. When enabled, the cycle loop raises

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/hashing.hh"
 #include "common/logging.hh"
 #include "common/strfmt.hh"
 #include "isa/op_class.hh"
@@ -61,6 +62,22 @@ OutOfOrderCore::OutOfOrderCore(
       portArb_(config.prfReadPorts)
 {
     wdNextAudit = cfg.watchdogAuditWindow();
+    if (cfg.faultSpec.enabled()) {
+        // Cycle-derived triggers resolve to a concrete fire cycle
+        // up front; NthAccess counts site accesses instead. Either
+        // way the strike lands at the top of one specific cycle —
+        // a single sequencing point, so the faulted run is byte-
+        // identical across jobs/batch/journal/daemon paths.
+        const auto &fs = cfg.faultSpec;
+        if (fs.trigger == faults::FaultTrigger::AtCycle) {
+            faultFireCycle_ = fs.triggerArg;
+        } else if (fs.trigger == faults::FaultTrigger::SeededDraw) {
+            faultFireCycle_ =
+                hashRange(fs.triggerArg, fs.seed,
+                          static_cast<uint64_t>(fs.site),
+                          static_cast<uint64_t>(fs.mutation));
+        }
+    }
     if (cfg.prfReadPorts != 0) {
         // A 2-source op can never issue on fewer than 2 ports: the
         // all-or-nothing arbiter would deny it forever.
@@ -237,6 +254,7 @@ OutOfOrderCore::consLink(uint32_t idx, unsigned s)
     if (head != -1)
         cons_[head].prev = node;
     head = node;
+    noteFaultAccess(faults::FaultSite::WakeLink);
 }
 
 void
@@ -443,6 +461,10 @@ OutOfOrderCore::run(uint64_t commit_target, uint64_t max_cycles)
             warn("run() hit max_cycles before commit target");
             return;
         }
+        if (cfg.faultSpec.enabled() && !faultFired_ &&
+            (faultPending_ || cycle >= faultFireCycle_)) {
+            fireFault();
+        }
         rn.beginCycle(cycle);
         processEvents();
         commitStage();
@@ -564,6 +586,98 @@ OutOfOrderCore::watchdogCheck()
         wdSig = sig;
         wdSigValid = true;
     }
+}
+
+// ---------------------------------------------------------------
+// Transient-fault injection (cfg.faultSpec; DESIGN.md §17)
+// ---------------------------------------------------------------
+
+void
+OutOfOrderCore::noteFaultAccess(faults::FaultSite site)
+{
+    const auto &fs = cfg.faultSpec;
+    if (fs.site != site ||
+        fs.trigger != faults::FaultTrigger::NthAccess ||
+        faultFired_ || faultPending_) {
+        return;
+    }
+    if (++faultAccesses_ >= fs.triggerArg)
+        faultPending_ = true;
+}
+
+void
+OutOfOrderCore::fireFault()
+{
+    faultFired_ = true;
+    faultPending_ = false;
+    const auto &fs = cfg.faultSpec;
+    // Every in-mutation choice (which register, which bit, which
+    // neighbour) draws from the spec seed — counter-based, so the
+    // same spec always strikes the same cell the same way.
+    const uint64_t rnd =
+        hashCombine(fs.seed, cycle, 0x6d757461746521ULL);
+    bool applied = false;
+    switch (fs.site) {
+      case faults::FaultSite::PrfValue:
+      case faults::FaultSite::MapTable:
+      case faults::FaultSite::FreeList:
+      case faults::FaultSite::CkptNode:
+        applied = rn.applyFault(fs, rnd);
+        break;
+      case faults::FaultSite::WakeLink:
+        applied = applyWakeLinkFault(rnd);
+        break;
+      case faults::FaultSite::LsqForward:
+        applied = lsq.applyFault(fs.mutation, rnd);
+        break;
+      case faults::FaultSite::None:
+        break;
+    }
+    // Forensics: the strike itself lands in the flight ring, so a
+    // crash/hang dump shows when and where the particle hit.
+    flight->record(FlightEvent::Note, cycle, 0,
+                   static_cast<uint64_t>(fs.site), applied ? 1 : 0);
+}
+
+bool
+OutOfOrderCore::applyWakeLinkFault(uint64_t rnd)
+{
+    // Consumer lists exist only on the event-wakeup path; on the
+    // legacy polling path the site has no storage, so the strike is
+    // structurally masked.
+    if (!cfg.eventWakeup)
+        return false;
+    const unsigned tags = cfg.rename.renameTagSpace();
+    const unsigned total = 2 * tags;
+    const unsigned start =
+        static_cast<unsigned>(hashRange(total, rnd, 1));
+    for (unsigned k = 0; k < total; ++k) {
+        const unsigned flat = (start + k) % total;
+        int32_t &head = consHead_[flat / tags][flat % tags];
+        if (head == -1)
+            continue;
+        switch (cfg.faultSpec.mutation) {
+          case faults::FaultMutation::BitFlip: {
+            // A flipped link pointer: the head consumer drops off
+            // its producer's list and will never see the wakeup.
+            const int32_t h = head;
+            head = cons_[h].next;
+            if (head != -1)
+                cons_[head].prev = -1;
+            cons_[h].next = -1;
+            cons_[h].prev = -1;
+            break;
+          }
+          case faults::FaultMutation::StaleValue:
+          case faults::FaultMutation::ZeroEntry:
+            // The head pointer itself is struck: the whole list is
+            // forgotten.
+            head = -1;
+            break;
+        }
+        return true;
+    }
+    return false;
 }
 
 void
@@ -843,6 +957,7 @@ OutOfOrderCore::onRetire(uint32_t idx)
             scheduleEvent(cycle + 2, EventType::Retire, idx);
             return;
         }
+        noteFaultAccess(faults::FaultSite::PrfValue);
         c.wbValue = readThroughValue(e.dstCls, e.dstPreg, c.dstGen,
                                      c.wi.resultValue);
     }
@@ -1100,22 +1215,29 @@ OutOfOrderCore::commitStage()
         if (!e.valid || !c.retired)
             return;
 
+        uint64_t commit_value = 0;
+        if (e.hasDst) {
+            // Fresh read-through: a register corrupted between
+            // writeback and commit diverges here.
+            commit_value = readThroughValue(e.dstCls, e.dstPreg,
+                                            c.dstGen, c.wbValue);
+            // PortOverGrant consequence: the over-granted read
+            // returned garbage (see portRequest).
+            if (c.portCorrupted)
+                commit_value ^= 0xdeadbeefULL;
+        }
+        // Architectural signature: unconditional (observer or not)
+        // so a corrupted committed value is visible even with the
+        // golden checker off.
+        archSig_ = hashCombine(archSig_, c.wi.pc, commit_value);
+
         if (observer) {
             CommitRecord rec;
             rec.seq = c.wi.seq;
             rec.pc = c.wi.pc;
             rec.op = e.cls;
             rec.dst = c.dst;
-            if (e.hasDst) {
-                // Fresh read-through: a register corrupted between
-                // writeback and commit diverges here.
-                rec.value = readThroughValue(e.dstCls, e.dstPreg,
-                                             c.dstGen, c.wbValue);
-                // PortOverGrant consequence: the over-granted read
-                // returned garbage (see portRequest).
-                if (c.portCorrupted)
-                    rec.value ^= 0xdeadbeefULL;
-            }
+            rec.value = commit_value;
             rec.memAddr = isa::isMem(e.cls) ? c.wi.memAddr : 0;
             rec.taken = e.isBranch && c.wi.taken;
             rec.target = rec.taken ? c.wi.actualTarget : 0;
@@ -1447,6 +1569,8 @@ OutOfOrderCore::renameStage()
             c.dst = wi.dst;
             e.dstCls = wi.dst.cls;
             auto dr = rn.renameDest(wi.dst, wi.resultValue);
+            noteFaultAccess(faults::FaultSite::MapTable);
+            noteFaultAccess(faults::FaultSite::FreeList);
             e.dstPreg = dr.preg;
             c.dstGen = dr.gen;
             c.prevMap = dr.prev;
@@ -1466,6 +1590,8 @@ OutOfOrderCore::renameStage()
 
         if (isa::isMem(wi.cls)) {
             lsq.insert(wi.seq, wi.memAddr, wi.isStore());
+            if (wi.isStore())
+                noteFaultAccess(faults::FaultSite::LsqForward);
             c.hasLsq = true;
         }
 
@@ -1488,6 +1614,7 @@ OutOfOrderCore::renameStage()
                 c.archSnap = specArch;
             }
             c.ckptId = rn.createCheckpoint();
+            noteFaultAccess(faults::FaultSite::CkptNode);
         }
 
         e.inScheduler = true;

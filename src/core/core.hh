@@ -322,6 +322,18 @@ class OutOfOrderCore
     const WakeupTelemetry &wakeupTelemetry() const { return wk; }
 
     /**
+     * Order-sensitive hash over every committed instruction's (pc,
+     * dest value read through the rename unit / PRF). Identical
+     * runs share it; corruption of a committed value changes it
+     * even when no aggregate stat moves. The fault campaign's
+     * Masked-vs-SDC discriminator when the golden checker is off.
+     */
+    uint64_t archSignature() const { return archSig_; }
+
+    /** Has the configured transient fault (cfg.faultSpec) fired? */
+    bool faultFired() const { return faultFired_; }
+
+    /**
      * Arm a wall-clock budget for subsequent run() calls: once
      * @p timeout_ms milliseconds elapse (checked every few thousand
      * cycles), run() raises ProgressStallError{WallClock}. 0 clears
@@ -435,6 +447,21 @@ class OutOfOrderCore
     /** Any valid, unretired entry in the non-circular ROB index
      *  range [lo, hi)? Serviced by the unretiredBits bitmap. */
     bool anyUnretiredInRange(uint32_t lo, uint32_t hi) const;
+
+    // --- transient-fault injection (cfg.faultSpec) ---
+    /**
+     * Count one access to @p site for the NthAccess trigger; arms
+     * the pending flag once the configured ordinal is reached. The
+     * strike itself is deferred to the top of the next cycle so
+     * firing is a single sequencing point regardless of which stage
+     * counted the access (byte-identical across batch/jobs paths).
+     */
+    void noteFaultAccess(faults::FaultSite site);
+    /** Apply the configured mutation at the configured site, once.
+     *  A site with no live target fires as a harmless no-op. */
+    void fireFault();
+    /** WakeLink site: corrupt one consumer-list link. */
+    bool applyWakeLinkFault(uint64_t rnd);
 
     // --- forward-progress watchdog ---
     /** Per-cycle progress checks; raises ProgressStallError. */
@@ -631,6 +658,14 @@ class OutOfOrderCore
     bool wdSigValid = false;
     std::chrono::steady_clock::time_point wdDeadline{};
     bool wdHasDeadline = false;
+
+    // Transient-fault injection state (cfg.faultSpec; inert when
+    // the spec is disabled).
+    uint64_t archSig_ = 0;
+    uint64_t faultFireCycle_ = kNever; ///< cycle-derived triggers
+    uint64_t faultAccesses_ = 0;       ///< NthAccess counter
+    bool faultPending_ = false; ///< access trigger reached; fire next
+    bool faultFired_ = false;
 
     uint64_t cycle = 0;
     uint64_t nCommitted = 0;

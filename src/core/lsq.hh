@@ -28,6 +28,7 @@
 #include "common/arena.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "faults/fault_spec.hh"
 
 namespace pri::core
 {
@@ -124,6 +125,62 @@ class Lsq
             tail = last;
             --count;
         }
+    }
+
+    /**
+     * Transient-fault hook (src/faults): corrupt the latched address
+     * of one in-flight store, chosen by @p rnd. The store is
+     * re-threaded onto the word chain for its corrupted address, so
+     * the index stays structurally consistent — only forwarding
+     * *behavior* goes wrong. Addresses carry no data values in this
+     * oracle model, so the strike is timing-only and invisible to
+     * the golden checker: the canonical silent-data-corruption site.
+     * @return false when no store is in flight (the strike lands in
+     *         empty silicon and is trivially masked).
+     */
+    bool
+    applyFault(faults::FaultMutation mutation, uint64_t rnd)
+    {
+        unsigned n_stores = 0;
+        for (unsigned i = 0, idx = head; i < count;
+             ++i, idx = (idx + 1) % entries.size()) {
+            if (entries[idx].valid && entries[idx].isStore)
+                ++n_stores;
+        }
+        if (n_stores == 0)
+            return false;
+        uint64_t pick = hashRange(n_stores, rnd, 0x6c73712dULL);
+        unsigned slot = head;
+        for (unsigned i = 0, idx = head; i < count;
+             ++i, idx = (idx + 1) % entries.size()) {
+            if (entries[idx].valid && entries[idx].isStore) {
+                if (pick == 0) {
+                    slot = idx;
+                    break;
+                }
+                --pick;
+            }
+        }
+        Entry &e = entries[slot];
+        detachStore(slot);
+        switch (mutation) {
+          case faults::FaultMutation::BitFlip:
+            // Flip an address bit above the word offset: the stored
+            // addr is word-aligned and probes mask with &~7, so a
+            // sub-word flip would be masked by construction.
+            e.addr ^= uint64_t{1}
+                << (3 + hashRange(29, rnd, 0x666c6970ULL));
+            break;
+          case faults::FaultMutation::StaleValue:
+            // A latched old word index: alias the adjacent word.
+            e.addr += 8;
+            break;
+          case faults::FaultMutation::ZeroEntry:
+            e.addr = 0;
+            break;
+        }
+        attachStore(slot);
+        return true;
     }
 
   private:

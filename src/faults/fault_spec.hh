@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Declarative transient-fault specification (DESIGN.md §17).
+ *
+ * A FaultSpec names one soft-error injection: a *site* (which
+ * microarchitectural storage cell to corrupt), a *trigger* (when to
+ * corrupt it — all triggers are pure functions of the spec and the
+ * core's own deterministic counters, never wall-clock randomness),
+ * and a *mutation* (how the cell's bits change). The struct is a
+ * plain value: it travels inside RunParams, is audited by
+ * paramsHash, and is serialized by the journal/store/wire codec, so
+ * a campaign point is reproducible and content-addressable exactly
+ * like any other sweep point.
+ */
+
+#ifndef PRI_FAULTS_FAULT_SPEC_HH
+#define PRI_FAULTS_FAULT_SPEC_HH
+
+#include <cstdint>
+
+namespace pri::faults
+{
+
+/** Which storage cell the particle strikes. */
+enum class FaultSite : uint8_t
+{
+    None = 0,
+    /** A physical-register-file value cell (any allocated preg). */
+    PrfValue,
+    /** A map-table entry — pointer or PRI-inlined immediate. */
+    MapTable,
+    /** A free-list slot (corrupts which preg gets handed out). */
+    FreeList,
+    /** A scheduler wake/consumer-list link (event wakeup only). */
+    WakeLink,
+    /** A live checkpoint-pool node's saved map image. */
+    CkptNode,
+    /** An LSQ store-forwarding entry's address tag. */
+    LsqForward,
+};
+
+/** When the strike happens. */
+enum class FaultTrigger : uint8_t
+{
+    /** At machine cycle triggerArg. */
+    AtCycle = 0,
+    /** On the triggerArg-th access to the site (writebacks for the
+     *  PRF, dest renames for map/free-list, consumer links for
+     *  wake, checkpoint creations, store inserts for the LSQ). */
+    NthAccess,
+    /** At a cycle drawn counter-style from (seed, site, mutation)
+     *  uniformly in [0, triggerArg) — the campaign workhorse. */
+    SeededDraw,
+};
+
+/** How the struck cell's bits change. */
+enum class FaultMutation : uint8_t
+{
+    /** Flip one bit (which bit is a seeded draw). */
+    BitFlip = 0,
+    /** Replace the cell with another live cell's value. */
+    StaleValue,
+    /** Zero the whole entry. */
+    ZeroEntry,
+};
+
+/** One declarative transient-fault injection. */
+struct FaultSpec
+{
+    FaultSite site = FaultSite::None;
+    FaultMutation mutation = FaultMutation::BitFlip;
+    FaultTrigger trigger = FaultTrigger::AtCycle;
+    /** Cycle, access ordinal, or draw range per the trigger kind. */
+    uint64_t triggerArg = 0;
+    /** Seeds the fire-cycle draw and every in-mutation draw (which
+     *  preg, which bit, which neighbour). */
+    uint64_t seed = 0;
+
+    bool enabled() const { return site != FaultSite::None; }
+
+    friend bool operator==(const FaultSpec &,
+                           const FaultSpec &) = default;
+};
+
+/** Stable lowercase token per site (parser + table rows). */
+constexpr const char *
+siteName(FaultSite s)
+{
+    switch (s) {
+    case FaultSite::None: return "none";
+    case FaultSite::PrfValue: return "prf";
+    case FaultSite::MapTable: return "map";
+    case FaultSite::FreeList: return "freelist";
+    case FaultSite::WakeLink: return "wake";
+    case FaultSite::CkptNode: return "ckpt";
+    case FaultSite::LsqForward: return "lsq";
+    }
+    return "?";
+}
+
+/** Stable lowercase token per mutation. */
+constexpr const char *
+mutationName(FaultMutation m)
+{
+    switch (m) {
+    case FaultMutation::BitFlip: return "flip";
+    case FaultMutation::StaleValue: return "stale";
+    case FaultMutation::ZeroEntry: return "zero";
+    }
+    return "?";
+}
+
+/** Stable lowercase token per trigger. */
+constexpr const char *
+triggerName(FaultTrigger t)
+{
+    switch (t) {
+    case FaultTrigger::AtCycle: return "cycle";
+    case FaultTrigger::NthAccess: return "access";
+    case FaultTrigger::SeededDraw: return "draw";
+    }
+    return "?";
+}
+
+/** All injectable sites, in table-row order. */
+constexpr FaultSite kAllFaultSites[] = {
+    FaultSite::PrfValue,  FaultSite::MapTable, FaultSite::FreeList,
+    FaultSite::WakeLink,  FaultSite::CkptNode, FaultSite::LsqForward,
+};
+
+} // namespace pri::faults
+
+#endif // PRI_FAULTS_FAULT_SPEC_HH

@@ -97,10 +97,10 @@ DiffChecker::compareArchFiles() const
         isa::RegId r{i < isa::kNumLogicalRegs ? isa::RegClass::Int
                                               : isa::RegClass::Fp,
                      static_cast<uint8_t>(i % isa::kNumLogicalRegs)};
-        panic("golden divergence after {} commits: arch file "
+        panic("{} after {} commits: arch file "
               "mismatch at {}: core {} vs golden {}\n{}",
-              model.committed(), r.str(), hex(mirror[i]),
-              hex(gold[i]), diagnosticWindow());
+              kDivergenceMarker, model.committed(), r.str(),
+              hex(mirror[i]), hex(gold[i]), diagnosticWindow());
     }
 }
 
@@ -108,11 +108,11 @@ void
 DiffChecker::diverge(const char *what, const core::CommitRecord &rec,
                      const GoldenInst &g) const
 {
-    panic("golden divergence at commit #{} ({}): core "
+    panic("{} at commit #{} ({}): core "
           "{{seq={} pc={} op={} dst={} val={} addr={} taken={} "
           "tgt={}}} vs golden "
           "{{pc={} op={} dst={} val={} addr={} taken={} tgt={}}}\n{}",
-          g.index, what, rec.seq, hex(rec.pc),
+          kDivergenceMarker, g.index, what, rec.seq, hex(rec.pc),
           isa::opClassName(rec.op), rec.dst.str(), hex(rec.value),
           hex(rec.memAddr), rec.taken, hex(rec.target), hex(g.pc),
           isa::opClassName(g.cls), g.dst.str(), hex(g.value),

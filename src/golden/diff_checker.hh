@@ -33,6 +33,14 @@
 namespace pri::golden
 {
 
+/**
+ * Prefix of every divergence panic the checker raises. The fault-
+ * campaign classifier keys on this exact string to separate
+ * "corruption the golden model caught" from any other crash, so the
+ * panics below and the classifier must never drift apart.
+ */
+inline constexpr const char *kDivergenceMarker = "golden divergence";
+
 /** Retire-time lockstep comparator core-vs-golden. */
 class DiffChecker : public core::CommitObserver
 {

@@ -52,6 +52,15 @@ class FreeList
     /** Number of duplicate frees that were ignored. */
     uint64_t duplicateFrees() const { return nDuplicate; }
 
+    /** Transient-fault hooks (src/faults): the free stack is SRAM
+     *  too. corruptSlot deliberately bypasses the allocated[]
+     *  bookkeeping — a struck cell lies while the books stay
+     *  truthful, which is exactly how the double-allocation failure
+     *  mode arises in real hardware. */
+    size_t slotCount() const { return freeStack.size(); }
+    isa::PhysRegId slotAt(size_t i) const { return freeStack[i]; }
+    void corruptSlot(size_t i, isa::PhysRegId v) { freeStack[i] = v; }
+
   private:
     unsigned total;
     /** Arena-backed when constructed under an ArenaScope: the free

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutils.hh"
+#include "common/hashing.hh"
 #include "common/logging.hh"
 
 namespace pri::rename
@@ -784,6 +785,159 @@ int
 RenameUnit::ckptRefs(isa::RegClass cls, isa::PhysRegId p) const
 {
     return state(cls).pregs.at(p).ckptRefs;
+}
+
+namespace
+{
+
+/**
+ * Mutate one map entry (current map or a checkpointed copy). A bit
+ * flip lands in the immediate payload when the entry is in inlined
+ * mode — PRI's extra exposure — and in the register pointer
+ * otherwise; a stale strike latches the neighbouring entry; a zeroed
+ * entry is the all-bits-clear encoding (pointer mode, preg 0).
+ * Pointer corruption is masked into [0, num_pregs) so every fault
+ * lands on representable state; the *consequences* are unconstrained.
+ */
+MapEntry
+mutateMapEntry(const MapEntry &old, const MapEntry &neighbour,
+               faults::FaultMutation mutation, uint64_t rnd,
+               unsigned num_pregs)
+{
+    switch (mutation) {
+      case faults::FaultMutation::BitFlip: {
+        MapEntry e = old;
+        if (e.imm)
+            e.value ^= uint64_t{1}
+                << pri::hashRange(64, rnd, 0x696d6dULL);
+        else
+            e.preg = static_cast<isa::PhysRegId>(
+                (e.preg ^ (1u << pri::hashRange(10, rnd,
+                                                0x707467ULL))) %
+                num_pregs);
+        return e;
+      }
+      case faults::FaultMutation::StaleValue:
+        return neighbour;
+      case faults::FaultMutation::ZeroEntry:
+        return MapEntry{false, 0, 0};
+    }
+    return old;
+}
+
+} // namespace
+
+bool
+RenameUnit::applyFault(const faults::FaultSpec &spec, uint64_t rnd)
+{
+    using faults::FaultMutation;
+    using faults::FaultSite;
+
+    // Seeded class pick with fallback to the other class, so a
+    // strike only misses when *neither* class has a live target.
+    const isa::RegClass first = (rnd & 1) == 0
+        ? isa::RegClass::Int
+        : isa::RegClass::Fp;
+    const isa::RegClass second = first == isa::RegClass::Int
+        ? isa::RegClass::Fp
+        : isa::RegClass::Int;
+
+    switch (spec.site) {
+      case FaultSite::PrfValue:
+        for (auto cls : {first, second}) {
+            auto &st = state(cls);
+            const unsigned n =
+                static_cast<unsigned>(st.pregs.size());
+            const unsigned start = static_cast<unsigned>(
+                hashRange(n, rnd, 0x707266ULL));
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned p = (start + i) % n;
+                if (!st.freeList.isAllocated(
+                        static_cast<isa::PhysRegId>(p)))
+                    continue;
+                auto &info = st.pregs[p];
+                switch (spec.mutation) {
+                  case FaultMutation::BitFlip:
+                    info.value ^= uint64_t{1}
+                        << hashRange(64, rnd, 0x626974ULL);
+                    break;
+                  case FaultMutation::StaleValue:
+                    // Contents of the adjacent (possibly free) cell:
+                    // a genuinely stale value.
+                    info.value = st.pregs[(p + 1) % n].value;
+                    break;
+                  case FaultMutation::ZeroEntry:
+                    info.value = 0;
+                    break;
+                }
+                return true;
+            }
+        }
+        return false;
+
+      case FaultSite::MapTable: {
+        auto &st = state(first);
+        const unsigned l = static_cast<unsigned>(
+            hashRange(isa::kNumLogicalRegs, rnd, 0x6d6170ULL));
+        const MapEntry mutated = mutateMapEntry(
+            st.map.read(l),
+            st.map.read((l + 1) % isa::kNumLogicalRegs),
+            spec.mutation, rnd,
+            static_cast<unsigned>(st.pregs.size()));
+        st.map.write(l, mutated);
+        return true;
+      }
+
+      case FaultSite::FreeList:
+        for (auto cls : {first, second}) {
+            auto &st = state(cls);
+            const size_t n = st.freeList.slotCount();
+            if (n == 0)
+                continue;
+            const size_t slot = static_cast<size_t>(
+                hashRange(n, rnd, 0x667265ULL));
+            isa::PhysRegId v = st.freeList.slotAt(slot);
+            switch (spec.mutation) {
+              case FaultMutation::BitFlip:
+                v = static_cast<isa::PhysRegId>(
+                    (v ^ (1u << hashRange(10, rnd,
+                                          0x626974ULL))) %
+                    st.pregs.size());
+                break;
+              case FaultMutation::StaleValue:
+                // Another slot's register: a duplicate free-list
+                // entry, armed to double-allocate.
+                v = st.freeList.slotAt((slot + 1) % n);
+                break;
+              case FaultMutation::ZeroEntry:
+                v = 0;
+                break;
+            }
+            st.freeList.corruptSlot(slot, v);
+            return true;
+        }
+        return false;
+
+      case FaultSite::CkptNode: {
+        if (ckptSeq_.empty())
+            return false;
+        const size_t k = static_cast<size_t>(
+            hashRange(ckptSeq_.size(), rnd, 0x636b70ULL));
+        Checkpoint &c = *ckptSeq_[k].second;
+        RamMapTable::Table &t = first == isa::RegClass::Int
+            ? c.intMap
+            : c.fpMap;
+        const unsigned l = static_cast<unsigned>(
+            hashRange(isa::kNumLogicalRegs, rnd, 0x6d6170ULL));
+        t[l] = mutateMapEntry(
+            t[l], t[(l + 1) % isa::kNumLogicalRegs], spec.mutation,
+            rnd, static_cast<unsigned>(state(first).pregs.size()));
+        return true;
+      }
+
+      default:
+        return false;
+    }
 }
 
 void

@@ -39,6 +39,7 @@
 
 #include "common/arena.hh"
 #include "common/stats.hh"
+#include "faults/fault_spec.hh"
 #include "isa/reg.hh"
 #include "rename/free_list.hh"
 #include "rename/map_table.hh"
@@ -323,6 +324,22 @@ class RenameUnit
 
     /** Check internal invariants; panics on violation. */
     void checkInvariants() const;
+
+    // ---- transient-fault hook (src/faults) ----
+
+    /**
+     * Apply @p spec's mutation to one seeded target inside this
+     * unit's SRAM structures: a PRF value cell, a current map-table
+     * entry (including PRI's inlined immediates), a free-list slot,
+     * or a live checkpoint's map copy. Deliberately skips the
+     * bookkeeping a real strike could not reach (mappedBy,
+     * allocated[], reference counters), so the downstream outcome —
+     * masked, detected, silent corruption, hang, crash — emerges
+     * from the machine rather than from the injector.
+     * @return true when a target existed and was mutated; false when
+     *         the strike landed in empty state (trivially masked).
+     */
+    bool applyFault(const faults::FaultSpec &spec, uint64_t rnd);
 
   private:
     struct PregInfo

@@ -4,7 +4,7 @@
  * points, keyed by paramsHash().
  *
  * Every successfully simulated RunParams is appended to the journal
- * file as one self-contained PRIJ2 line (sim/result_codec.hh — the
+ * file as one self-contained PRIJ3 line (sim/result_codec.hh — the
  * same audited serializer the pri_sweepd result store uses, so the
  * two caches can never skew: all RunResult fields, doubles in
  * hexfloat so they round-trip bit-exactly, the stats report with

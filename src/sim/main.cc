@@ -25,7 +25,10 @@
  * rerunning the identical command after a crash re-simulates only
  * the missing points and prints a byte-identical table.
  * `--inject-fault wedge@3` plants a scheduler wedge in point 3 only
- * (the watchdog acceptance drill).
+ * (the watchdog acceptance drill). The same flag also takes a
+ * transient-fault spec, e.g. `--inject-fault map:flip:cycle=5000`
+ * (one soft-error strike; see src/faults/fault_arg.hh for the
+ * grammar).
  *
  * `--batch K` simulates up to K compatible sweep points per worker
  * thread as lanes of one shared-workload batch (default: auto);
@@ -41,6 +44,7 @@
 
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "faults/fault_arg.hh"
 #include "sim/journal.hh"
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
@@ -64,28 +68,6 @@ parseScheme(const std::string &s)
     if (s == "vp") return Scheme::VirtualPhysical;
     if (s == "vp-pri") return Scheme::VirtualPhysicalPlusPri;
     pri::fatal("unknown scheme '{}'", s);
-}
-
-/** "wedge", "wrong-path", "stale-gidx", "port-overgrant",
- *  optionally "@<point>". */
-pri::core::InjectedFault
-parseFault(const std::string &spec, long &point)
-{
-    using pri::core::InjectedFault;
-    std::string kind = spec;
-    point = -1; // every point / the single run
-    const size_t at = spec.find('@');
-    if (at != std::string::npos) {
-        kind = spec.substr(0, at);
-        point = std::atol(spec.c_str() + at + 1);
-    }
-    if (kind == "wedge") return InjectedFault::WedgeScheduler;
-    if (kind == "wrong-path") return InjectedFault::CommitWrongPath;
-    if (kind == "stale-gidx") return InjectedFault::StaleWalkerGidx;
-    if (kind == "port-overgrant") return InjectedFault::PortOverGrant;
-    pri::fatal("unknown fault '{}' (wedge, wrong-path, stale-gidx, "
-               "port-overgrant)",
-               kind);
 }
 
 /**
@@ -165,8 +147,7 @@ main(int argc, char **argv)
     unsigned retries = 0;
     unsigned backoff_ms = 0;
     std::string journal_path;
-    pri::core::InjectedFault fault = pri::core::InjectedFault::None;
-    long fault_point = -1;
+    pri::faults::FaultArg fault;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -222,7 +203,13 @@ main(int argc, char **argv)
         } else if (a == "--backoff-ms") {
             backoff_ms = static_cast<unsigned>(std::atoi(next()));
         } else if (a == "--inject-fault") {
-            fault = parseFault(next(), fault_point);
+            std::string err;
+            if (!pri::faults::parseFaultArg(next(), fault, err))
+                pri::fatal("{}", err);
+            if (fault.kill) {
+                pri::fatal("--inject-fault kill@K drills sweepd "
+                           "workers; pri_sim has none");
+            }
         } else if (a == "-l" || a == "--list") {
             for (const auto &prof : pri::workload::allProfiles())
                 std::printf("%s\n", prof.name.c_str());
@@ -247,8 +234,8 @@ main(int argc, char **argv)
     p.checkInvariants = true;
 
     if (sweep == 0) {
-        if (fault != pri::core::InjectedFault::None)
-            p.injectFault = fault;
+        p.injectFault = fault.legacy;
+        p.faultSpec = fault.spec;
         // simulate() throws on bad parameters (e.g. an unknown
         // benchmark name) so batch drivers can capture per-run
         // errors; at the CLI the equivalent is a clean fatal.
@@ -268,10 +255,10 @@ main(int argc, char **argv)
     batch.reserve(sweep);
     for (size_t i = 0; i < sweep; ++i) {
         auto point = drawSweepPoint(p, i);
-        if (fault != pri::core::InjectedFault::None &&
-            (fault_point < 0 ||
-             static_cast<size_t>(fault_point) == i)) {
-            point.injectFault = fault;
+        if (fault.point < 0 ||
+            static_cast<size_t>(fault.point) == i) {
+            point.injectFault = fault.legacy;
+            point.faultSpec = fault.spec;
         }
         batch.push_back(std::move(point));
     }

@@ -160,6 +160,7 @@ formatResultLine(uint64_t key, const RunResult &r)
     b.addF64(r.inlinedFrac);
     b.addF64(r.portStallsPerKInst);
     b.addF64(r.portInlineBypassFrac);
+    b.addHex64(r.archSig);
     b.add(escape(r.report));
     return b.finish();
 }
@@ -198,7 +199,8 @@ parseResultLine(const std::string &line, uint64_t &key, RunResult &r)
     ok = ok && parseF64(f[19], r.inlinedFrac);
     ok = ok && parseF64(f[20], r.portStallsPerKInst);
     ok = ok && parseF64(f[21], r.portInlineBypassFrac);
-    r.report = unescape(f[22]);
+    ok = ok && parseU64(f[22], r.archSig, 16);
+    r.report = unescape(f[23]);
     return ok;
 }
 
@@ -223,6 +225,11 @@ formatParamsLine(const RunParams &p)
     b.addU64(p.eventWakeup ? 1 : 0);
     b.addU64(p.cycleBudget);
     b.addU64(p.tracedFrontEnd ? 1 : 0);
+    b.addU64(static_cast<uint64_t>(p.faultSpec.site));
+    b.addU64(static_cast<uint64_t>(p.faultSpec.mutation));
+    b.addU64(static_cast<uint64_t>(p.faultSpec.trigger));
+    b.addU64(p.faultSpec.triggerArg);
+    b.addU64(p.faultSpec.seed);
     return b.finish();
 }
 
@@ -266,6 +273,14 @@ parseParamsLine(const std::string &line, RunParams &p)
     ok = ok && parseU64(f[16], p.cycleBudget);
     ok = ok && parseU64(f[17], v);
     p.tracedFrontEnd = v != 0;
+    ok = ok && parseU64(f[18], v);
+    p.faultSpec.site = static_cast<faults::FaultSite>(v);
+    ok = ok && parseU64(f[19], v);
+    p.faultSpec.mutation = static_cast<faults::FaultMutation>(v);
+    ok = ok && parseU64(f[20], v);
+    p.faultSpec.trigger = static_cast<faults::FaultTrigger>(v);
+    ok = ok && parseU64(f[21], p.faultSpec.triggerArg);
+    ok = ok && parseU64(f[22], p.faultSpec.seed);
     return ok;
 }
 

@@ -8,7 +8,7 @@
  * "." sentinel so a torn write (SIGKILL mid-append, partial rename)
  * fails validation and is simply skipped by loaders:
  *
- *  - Result lines (tag PRIJ2): one completed RunResult keyed by its
+ *  - Result lines (tag PRIJ3): one completed RunResult keyed by its
  *    paramsHash. Doubles are written in hexfloat (%a) so they
  *    round-trip bit-exactly; the stats report rides along with
  *    newlines/tabs escaped. Used by the sweep journal
@@ -18,7 +18,7 @@
  *    record written by one is bit-identical when served by the
  *    other.
  *
- *  - Params lines (tag PRIP1): one RunParams request, carrying
+ *  - Params lines (tag PRIP2): one RunParams request, carrying
  *    EXACTLY the fields paramsHash() digests — no more, no fewer.
  *    This is the pri_sweepd submit format: a daemon that re-derives
  *    paramsHash from a parsed params line is guaranteed to compute
@@ -45,13 +45,13 @@ namespace pri::sim::codec
 
 /** Result-line format tag; bump when the RunResult field list
  *  changes (invalidates journals and sweepd stores cleanly). */
-constexpr const char *kResultTag = "PRIJ2";
+constexpr const char *kResultTag = "PRIJ3";
 
 /** Result-line fields: tag, key, benchmark, scheme, width, 4 u64,
- *  13 doubles, report, "." sentinel. */
-constexpr size_t kResultFields = 24;
+ *  13 doubles, archSig, report, "." sentinel. */
+constexpr size_t kResultFields = 25;
 
-/** The pinned PRIJ2 field list, in line order. A new RunResult
+/** The pinned PRIJ3 field list, in line order. A new RunResult
  *  field means: append here, bump kResultTag, extend the
  *  format/parse pair — the static_assert and the field-list unit
  *  test force all four to move together. */
@@ -62,32 +62,34 @@ constexpr const char *kResultFieldNames[] = {
     "lifeAllocToWrite", "lifeWriteToLastRead",
     "lifeLastReadToRelease", "branchMispredictRate", "dl1MissRate",
     "priEarlyFrees", "erEarlyFrees", "inlinedFrac",
-    "portStallsPerKInst", "portInlineBypassFrac", "report",
-    "sentinel",
+    "portStallsPerKInst", "portInlineBypassFrac", "archSig",
+    "report", "sentinel",
 };
 static_assert(sizeof(kResultFieldNames) / sizeof(const char *) ==
                   kResultFields,
-              "PRIJ2 field list and field count must move together");
+              "PRIJ3 field list and field count must move together");
 
 /** Params-line format tag; bump when the paramsHash() audited
  *  field list changes. */
-constexpr const char *kParamsTag = "PRIP1";
+constexpr const char *kParamsTag = "PRIP2";
 
-/** Params-line fields: tag, the 17 hashed RunParams fields, "." */
-constexpr size_t kParamsFields = 19;
+/** Params-line fields: tag, the 22 hashed RunParams fields, "." */
+constexpr size_t kParamsFields = 24;
 
-/** The pinned PRIP1 field list — exactly paramsHash()'s digest
+/** The pinned PRIP2 field list — exactly paramsHash()'s digest
  *  order (see simulation.cc). */
 constexpr const char *kParamsFieldNames[] = {
     "tag", "benchmark", "width", "scheme", "physRegs",
     "warmupInsts", "measureInsts", "seed", "checkGolden",
     "schedSizeOverride", "narrowBitsOverride", "injectFault",
     "injectFreeWithoutInline", "prfReadPorts", "pooledCheckpoints",
-    "eventWakeup", "cycleBudget", "tracedFrontEnd", "sentinel",
+    "eventWakeup", "cycleBudget", "tracedFrontEnd", "faultSite",
+    "faultMutation", "faultTrigger", "faultTriggerArg", "faultSeed",
+    "sentinel",
 };
 static_assert(sizeof(kParamsFieldNames) / sizeof(const char *) ==
                   kParamsFields,
-              "PRIP1 field list and field count must move together");
+              "PRIP2 field list and field count must move together");
 
 /** Escape tabs/newlines/backslashes so a report is one field. */
 std::string escape(const std::string &s);
@@ -96,23 +98,23 @@ std::string unescape(const std::string &s);
 /** Split @p line on tabs (no unescaping; fields are raw). */
 std::vector<std::string> splitTabs(const std::string &line);
 
-/** One PRIJ2 line (newline-terminated) for @p key / @p r. */
+/** One PRIJ3 line (newline-terminated) for @p key / @p r. */
 std::string formatResultLine(uint64_t key, const RunResult &r);
 
 /**
- * Parse one PRIJ2 line. Returns false (leaving @p key / @p r
+ * Parse one PRIJ3 line. Returns false (leaving @p key / @p r
  * untouched garbage) for anything malformed — most importantly the
  * torn final line of a file whose writer was SIGKILLed mid-write.
  */
 bool parseResultLine(const std::string &line, uint64_t &key,
                      RunResult &r);
 
-/** One PRIP1 line (newline-terminated) for @p p: the audited
+/** One PRIP2 line (newline-terminated) for @p p: the audited
  *  (hash-visible) fields only. */
 std::string formatParamsLine(const RunParams &p);
 
 /**
- * Parse one PRIP1 line into @p p (every non-audited field keeps the
+ * Parse one PRIP2 line into @p p (every non-audited field keeps the
  * value @p p arrived with, so callers can pre-load machine-local
  * policy like timeoutMs). Returns false on any malformed input.
  */

@@ -35,6 +35,7 @@ coreConfigFor(const RunParams &params)
         cfg.schedSize = params.schedSizeOverride;
     cfg.prfReadPorts = params.prfReadPorts;
     cfg.injectFault = params.injectFault;
+    cfg.faultSpec = params.faultSpec;
 
     // Watchdog / budget plumbing. PRI_WATCHDOG_CYCLES overrides the
     // stall threshold process-wide; 0 disables detection.
@@ -213,6 +214,7 @@ SimInstance::finish()
         ? port_bypass / (port_reads + port_bypass)
         : 0.0;
 
+    r.archSig = cpu->archSignature();
     r.report = stats.report("  ");
     return r;
 }

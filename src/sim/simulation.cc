@@ -7,6 +7,7 @@
 #include "common/flight_recorder.hh"
 #include "common/hashing.hh"
 #include "common/logging.hh"
+#include "faults/fault_arg.hh"
 #include "sim/sim_instance.hh"
 
 namespace pri::sim
@@ -86,6 +87,17 @@ paramsHash(const RunParams &params)
                     params.eventWakeup ? 1 : 0);
     h = hashCombine(h, params.cycleBudget,
                     params.tracedFrontEnd ? 1 : 0);
+    // The transient-fault spec changes the committed stream (and
+    // the persisted archSig), so every field is audited: a campaign
+    // injection must never be satisfied by a clean run's record or
+    // by a different injection's.
+    h = hashCombine(h,
+                    static_cast<uint64_t>(params.faultSpec.site),
+                    static_cast<uint64_t>(params.faultSpec.mutation));
+    h = hashCombine(h,
+                    static_cast<uint64_t>(params.faultSpec.trigger),
+                    params.faultSpec.triggerArg);
+    h = hashCombine(h, params.faultSpec.seed);
     return h;
 }
 
@@ -100,6 +112,12 @@ paramsSummary(const RunParams &params)
     // tables stay byte-identical to pre-port-model output.
     if (params.prfReadPorts != 0)
         s += fmtStr(" / ports {}", params.prfReadPorts);
+    // Appended only for armed specs so fault-free tables keep their
+    // historical bytes.
+    if (params.faultSpec.enabled()) {
+        s += fmtStr(" / fault {}",
+                    faults::formatFaultSpec(params.faultSpec));
+    }
     return s;
 }
 

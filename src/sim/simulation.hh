@@ -94,6 +94,14 @@ struct RunParams
     core::InjectedFault injectFault = core::InjectedFault::None;
     bool injectFreeWithoutInline = false;
     /**
+     * One-shot transient fault (soft-error campaign injection):
+     * site + counter-based trigger + mutation, fully deterministic
+     * and audited by paramsHash so campaign points journal and
+     * content-address like any other sweep point. Disabled by
+     * default. See faults::FaultSpec and DESIGN.md §17.
+     */
+    faults::FaultSpec faultSpec;
+    /**
      * Test-only transient-failure seam for the runner's retry
      * policy: simulate() throws TransientError while
      * attempt < injectTransientFails, then succeeds normally — so
@@ -181,6 +189,17 @@ struct RunResult
      *  as a fraction of all operands at issue — the port relief PRI
      *  buys (reads + bypasses = operands). */
     double portInlineBypassFrac = 0.0;
+
+    /**
+     * Order-sensitive hash of the committed instruction stream's
+     * architecturally visible results (pc × dest value as read back
+     * through the PRF at commit). Two runs that committed the same
+     * values in the same order share it; a fault that corrupts a
+     * committed value changes it even when no aggregate stat moves.
+     * The campaign classifier uses it to tell Masked from silent
+     * data corruption with the golden checker off.
+     */
+    uint64_t archSig = 0;
 
     /** Full stat report (for verbose output). */
     std::string report;

@@ -1,8 +1,12 @@
 #include "client.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -13,8 +17,74 @@
 namespace pri::sweepd
 {
 
+namespace
+{
+
+/** Bound every read on @p fd to @p ms milliseconds (0 = blocking).
+ *  readFrame() then fails on the EAGAIN instead of wedging. */
+void
+setRecvTimeout(int fd, unsigned ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<long>(ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/** One non-blocking connect attempt bounded by @p timeout_ms. */
+int
+connectOnce(const sockaddr_un &addr, unsigned timeout_ms)
+{
+    const int fd = ::socket(
+        AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return -1;
+    const int rc = ::connect(
+        fd, reinterpret_cast<const sockaddr *>(&addr),
+        sizeof(addr));
+    if (rc != 0) {
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            ::close(fd);
+            return -1;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, static_cast<int>(timeout_ms)) <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) !=
+                0 ||
+            err != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    // Back to blocking I/O; read deadlines are set per-phase via
+    // SO_RCVTIMEO instead.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    return fd;
+}
+
+} // namespace
+
+unsigned
+SweepdClient::defaultTimeoutMs()
+{
+    if (const char *env = std::getenv("PRI_SWEEPD_TIMEOUT_MS")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 5000;
+}
+
 std::unique_ptr<SweepdClient>
-SweepdClient::connect(const std::string &socketPath)
+SweepdClient::connect(const std::string &socketPath,
+                      unsigned timeout_ms)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -23,15 +93,17 @@ SweepdClient::connect(const std::string &socketPath)
         return nullptr;
     std::strcpy(addr.sun_path, socketPath.c_str());
 
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0)
-        return nullptr;
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        ::close(fd);
-        return nullptr;
+    // One bounded retry: a daemon mid-restart (socket exists, accept
+    // queue briefly unserviced) gets a second chance; a dead or
+    // wedged one costs at most two timeouts.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = connectOnce(addr, timeout_ms);
+        if (fd >= 0) {
+            return std::unique_ptr<SweepdClient>(
+                new SweepdClient(fd, timeout_ms));
+        }
     }
-    return std::unique_ptr<SweepdClient>(new SweepdClient(fd));
+    return nullptr;
 }
 
 SweepdClient::~SweepdClient()
@@ -55,9 +127,25 @@ SweepdClient::submit(const std::vector<sim::RunParams> &batch)
     if (!writeFrame(fd, payload))
         return out;
 
+    // The daemon ACKs a SUBMIT before resolving any point. Until
+    // that first frame lands, reads run under the handshake
+    // deadline: a daemon that accepted the connection but never
+    // services it (wedged dispatcher) surfaces here as a bounded
+    // "unresponsive" failure instead of a hung sweep. After the
+    // ACK, reads block indefinitely — simulations take as long as
+    // they take.
+    setRecvTimeout(fd, timeoutMs);
+    bool acked = false;
+
     std::string frame, verb, body;
     while (readFrame(fd, frame)) {
+        if (!acked) {
+            setRecvTimeout(fd, 0);
+            acked = true;
+        }
         splitVerb(frame, verb, body);
+        if (verb.rfind("ACK", 0) == 0)
+            continue;
         unsigned long long idx = 0, flag = 0;
         if (std::sscanf(verb.c_str(), "RESULT %llu %llu", &idx,
                         &flag) == 2) {
@@ -91,7 +179,13 @@ SweepdClient::submit(const std::vector<sim::RunParams> &batch)
         // Anything else (OK/BAD from an interleaved query — we
         // never interleave, but be liberal) is skipped.
     }
-    return out; // connection lost mid-stream
+    if (!acked) {
+        for (auto &o : out) {
+            o.error = "daemon unresponsive (no ACK within " +
+                std::to_string(timeoutMs) + " ms)";
+        }
+    }
+    return out; // connection lost / handshake timeout
 }
 
 std::string
@@ -99,8 +193,13 @@ SweepdClient::query(const std::string &verb)
 {
     if (!writeFrame(fd, verb))
         return "";
+    // Queries are answered immediately; hold them to the same
+    // deadline so a wedged daemon cannot hang a status probe.
+    setRecvTimeout(fd, timeoutMs);
     std::string frame, reply_verb, body;
-    if (!readFrame(fd, frame))
+    const bool got = readFrame(fd, frame);
+    setRecvTimeout(fd, 0);
+    if (!got)
         return "";
     splitVerb(frame, reply_verb, body);
     return reply_verb == "OK" ? body : "";

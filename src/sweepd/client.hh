@@ -4,7 +4,7 @@
  * batch of sweep points, collect the streamed results.
  *
  * The client is deliberately dumb — it serializes RunParams to
- * PRIP1 lines, reads RESULT/ERROR frames until DONE, and verifies
+ * PRIP2 lines, reads RESULT/ERROR frames until DONE, and verifies
  * that every served key matches the paramsHash it computed locally
  * (a daemon built from a different params-hash audit can therefore
  * never silently hand back results for the wrong point; the
@@ -12,6 +12,13 @@
  * to simulating locally). Transport loss mid-stream degrades the
  * same way: unresolved points come back as errors, never as wrong
  * data.
+ *
+ * A *hung* daemon degrades like an absent one: connect() polls with
+ * a bounded timeout and retry, and submit() requires the daemon's
+ * ACK frame within the same timeout before it will block
+ * indefinitely on results. A daemon that accepts connections but
+ * never services them therefore costs one timeout, not a wedged
+ * sweep. PRI_SWEEPD_TIMEOUT_MS overrides the default (5000 ms).
  */
 
 #ifndef PRI_SWEEPD_CLIENT_HH
@@ -41,9 +48,23 @@ struct PointOutcome
 class SweepdClient
 {
   public:
-    /** Connect to the daemon at @p socketPath; null on failure. */
+    /** Handshake/connect budget: PRI_SWEEPD_TIMEOUT_MS, else 5000. */
+    static unsigned defaultTimeoutMs();
+
+    /**
+     * Connect to the daemon at @p socketPath; null on failure. The
+     * connect itself is non-blocking with a @p timeout_ms budget and
+     * one bounded retry, so a daemon whose accept queue is wedged
+     * behaves like no daemon at all.
+     */
     static std::unique_ptr<SweepdClient>
-    connect(const std::string &socketPath);
+    connect(const std::string &socketPath, unsigned timeout_ms);
+
+    static std::unique_ptr<SweepdClient>
+    connect(const std::string &socketPath)
+    {
+        return connect(socketPath, defaultTimeoutMs());
+    }
 
     ~SweepdClient();
 
@@ -53,9 +74,11 @@ class SweepdClient
     /**
      * Submit @p batch and block until every point settles (results
      * stream in completion order; returned in submission order).
-     * On transport loss the unresolved points carry the error
-     * "daemon connection lost" and the connection is dead — callers
-     * should fall back to local simulation for those points.
+     * The daemon must ACK the submission within the connect
+     * timeout; a mute daemon surfaces as "daemon unresponsive" on
+     * every point. On transport loss the unresolved points carry
+     * the error "daemon connection lost" and the connection is dead
+     * — callers should fall back to local simulation either way.
      */
     std::vector<PointOutcome>
     submit(const std::vector<sim::RunParams> &batch);
@@ -67,9 +90,10 @@ class SweepdClient
     std::string query(const std::string &verb);
 
   private:
-    explicit SweepdClient(int f) : fd(f) {}
+    SweepdClient(int f, unsigned t) : fd(f), timeoutMs(t) {}
 
     int fd;
+    unsigned timeoutMs;
 };
 
 } // namespace pri::sweepd

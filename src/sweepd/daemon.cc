@@ -249,6 +249,14 @@ Daemon::handleSubmit(const std::shared_ptr<ClientConn> &conn,
     auto sub = std::make_shared<Submission>();
     uint64_t hits = 0, misses = 0;
 
+    // Prompt liveness signal: the client holds its handshake
+    // deadline until this frame, then trusts us with an unbounded
+    // wait. Sent before any store lookup or simulation starts.
+    {
+        std::lock_guard<std::mutex> wlock(conn->writeMu);
+        writeFrame(conn->fd, fmtStr("ACK {}", lines.size()));
+    }
+
     for (uint32_t i = 0; i < lines.size(); ++i) {
         counters.points.fetch_add(1);
         sim::RunParams p;

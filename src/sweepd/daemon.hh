@@ -10,7 +10,7 @@
  * store lifetime" holds for any client interleaving:
  *
  *   1. store hit   — served immediately from the content-addressed
- *                    ResultStore (bit-exact: PRIJ2 hexfloat lines).
+ *                    ResultStore (bit-exact: PRIJ3 hexfloat lines).
  *   2. in-flight   — an identical point (same paramsHash) is being
  *                    simulated for another client (or earlier in
  *                    this SUBMIT); this client is added to the

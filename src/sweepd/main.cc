@@ -29,6 +29,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "faults/fault_arg.hh"
 #include "sweepd/client.hh"
 #include "sweepd/daemon.hh"
 #include "sweepd/worker.hh"
@@ -123,11 +124,27 @@ main(int argc, char **argv)
                    parseU(val, n)) {
             cfg.timeoutMs = n;
             ++i;
-        } else if (arg == "--inject-fault" && val != nullptr &&
-                   std::strncmp(val, "kill@", 5) == 0 &&
-                   parseU(val + 5, n)) {
-            cfg.killDispatch = static_cast<long>(n);
-            ++i;
+        } else if (arg == "--inject-fault" && val != nullptr) {
+            // Shared grammar with pri_sim; only the worker-crash
+            // drill makes sense for the daemon itself (simulation
+            // faults belong in the submitted points).
+            pri::faults::FaultArg fault;
+            std::string err;
+            if (!pri::faults::parseFaultArg(argv[++i], fault, err)) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             err.c_str());
+                return 2;
+            }
+            if (!fault.kill) {
+                std::fprintf(stderr,
+                             "%s: the daemon only takes the kill@K "
+                             "crash drill; submit simulation faults "
+                             "with the sweep points\n",
+                             argv[0]);
+                return 2;
+            }
+            cfg.killDispatch =
+                static_cast<long>(fault.killDispatch);
         } else {
             std::fprintf(stderr, "%s: bad argument '%s'\n", argv[0],
                          arg.c_str());

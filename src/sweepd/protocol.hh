@@ -9,12 +9,15 @@
  * records in the audited sim/result_codec.hh formats.
  *
  * Client -> daemon:
- *   SUBMIT            followed by one PRIP1 params line per point.
+ *   SUBMIT            followed by one PRIP2 params line per point.
  *   STATUS            human-readable daemon state.
  *   STATS             machine-readable "key value" counter lines.
  *
  * Daemon -> client (streamed per SUBMIT, in completion order):
- *   RESULT <idx> <cached>   followed by the point's PRIJ2 line.
+ *   ACK <n>                 SUBMIT received, n points parsed off the
+ *                           wire; sent before any resolution so
+ *                           clients can bound their handshake wait.
+ *   RESULT <idx> <cached>   followed by the point's PRIJ3 line.
  *                           idx = 0-based position in the SUBMIT;
  *                           cached = 1 when served from the store
  *                           without simulating.
@@ -23,12 +26,12 @@
  *   OK                      followed by STATUS/STATS body.
  *
  * Daemon -> worker (over the per-worker socketpair):
- *   JOB <crash> <timeoutMs>  followed by one PRIP1 line. crash = 1
+ *   JOB <crash> <timeoutMs>  followed by one PRIP2 line. crash = 1
  *                            tells the worker to SIGKILL itself on
  *                            receipt (the --inject-fault drill).
  *   QUIT                     clean worker shutdown.
  * Worker -> daemon:
- *   RES                      followed by the PRIJ2 result line.
+ *   RES                      followed by the PRIJ3 result line.
  *   ERR <stalled>            followed by the failure message.
  */
 

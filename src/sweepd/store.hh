@@ -6,7 +6,7 @@
  * Layout: one directory holding
  *
  *   meta            "PRISTORE1 <resultTag> <fieldCount>" — the
- *                   version stamp. A codec change (new PRIJ2 field
+ *                   version stamp. A codec change (new PRIJ3 field
  *                   list, i.e. a params-hash audit change shipping
  *                   alongside it) makes the stamp mismatch on open
  *                   and the store invalidates cleanly: every bucket
@@ -14,7 +14,7 @@
  *                   stale record can never be served under a
  *                   new-format key.
  *   b<XX>.tsv       one file per hash bucket, XX = the key's top
- *                   byte in hex. Each line is one PRIJ2 record
+ *                   byte in hex. Each line is one PRIJ3 record
  *                   (sim/result_codec.hh — the exact serializer the
  *                   sweep journal uses).
  *

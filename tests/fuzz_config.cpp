@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/hashing.hh"
+#include "faults/campaign.hh"
 #include "sim/runner.hh"
 #include "sim/simulation.hh"
 
@@ -86,7 +87,8 @@ drawPoint(uint64_t seed, uint64_t index)
     // Front-end axis: traced replay vs legacy decode. The golden
     // model always decodes legacy, so every traced point is a full
     // traced-vs-legacy stream cross-check. (Salts 11/12 belong to
-    // the retry-policy test below, salt 14 to the batching test.)
+    // the retry-policy test below, salt 14 to the batching test,
+    // salts 16/17 to the fault-campaign axis.)
     p.tracedFrontEnd = pick(13, 2) != 0;
     // Read-port arbitration axis: a binding budget reorders issue,
     // so every limited draw cross-checks the arbitrated machine
@@ -220,6 +222,62 @@ TEST(ConfigFuzz, BatchedLanesStayGoldenClean)
                 << "lane " << k;
         }
     }
+}
+
+/**
+ * Fault-campaign axis: every fuzzed config point additionally takes
+ * one seeded transient strike (site, mutation, trigger all drawn
+ * from salts 16/17 — disjoint from the config axes above) through
+ * the capture-not-fatal runner. The contract under test is campaign
+ * totality, at fuzz breadth: whatever the machine does with the
+ * corruption — masks it, panics, diverges from golden, or wedges —
+ * classifyOutcome() sorts it into exactly one defined bucket and the
+ * sweep itself never aborts. The reference leg of each pair must
+ * stay golden-clean (the fuzzer's usual guarantee).
+ */
+TEST(ConfigFuzz, FaultCampaignClassifiesEveryStrike)
+{
+    const uint64_t seed = envOr("PRI_FUZZ_SEED", 1);
+    const uint64_t runs = envOr("PRI_FUZZ_RUNS", 6);
+    faults::OutcomeCounts counts;
+    for (uint64_t i = 0; i < runs; ++i) {
+        auto p = drawPoint(seed, i);
+        const auto pick = [&](uint64_t salt, uint64_t bound) {
+            return hashCombine(seed, i, salt) % bound;
+        };
+        const auto site = faults::kAllFaultSites[pick(
+            16, std::size(faults::kAllFaultSites))];
+        p.faultSpec = faults::drawInjection(
+            site, static_cast<unsigned>(i),
+            hashCombine(seed, i, 17),
+            p.warmupInsts + p.measureInsts);
+        SCOPED_TRACE("PRI_FUZZ_SEED=" + std::to_string(seed) +
+                     " index=" + std::to_string(i) + ": " +
+                     p.benchmark + " " +
+                     sim::schemeName(p.scheme) + " strike " +
+                     faults::siteName(site) + ":" +
+                     faults::mutationName(p.faultSpec.mutation) +
+                     " seed " + std::to_string(p.faultSpec.seed));
+
+        auto ref_params = p;
+        ref_params.faultSpec = faults::FaultSpec{};
+        sim::SimulationRunner runner(1);
+        const auto outcomes =
+            runner.runCaptured({ref_params, p});
+        ASSERT_EQ(outcomes.size(), 2u);
+        // The fault-free leg keeps the fuzzer's baseline guarantee.
+        ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+        EXPECT_EQ(outcomes[0].result.goldenChecked,
+                  outcomes[0].result.committedTotal);
+        // The struck leg lands in exactly one defined bucket — a
+        // crash or hang is a classified outcome, never an abort.
+        const auto outcome =
+            faults::classifyOutcome(outcomes[1], outcomes[0]);
+        ASSERT_LT(static_cast<size_t>(outcome),
+                  faults::kNumFaultOutcomes);
+        counts.add(outcome);
+    }
+    EXPECT_EQ(counts.total(), runs);
 }
 
 } // namespace

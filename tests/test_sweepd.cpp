@@ -1,11 +1,12 @@
 /**
  * @file
- * Tests for the pri_sweepd sweep daemon stack: the shared PRIJ2 /
- * PRIP1 codec (field lists pinned, journal interop), the on-disk
+ * Tests for the pri_sweepd sweep daemon stack: the shared PRIJ3 /
+ * PRIP2 codec (field lists pinned, journal interop), the on-disk
  * content-addressed store (round trip, torn-write recovery, version
  * invalidation), and the daemon itself — in-flight dedup across
  * concurrent clients, worker-SIGKILL isolation with byte-identical
- * final results, and client fallback behaviour.
+ * final results, and client fallback behaviour including the
+ * hung-daemon (accepts, never replies) degradation drill.
  *
  * This binary hosts in-process daemons whose worker pool respawns
  * from /proc/self/exe, so main() dispatches to workerMain() before
@@ -14,12 +15,18 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "faults/fault_spec.hh"
 #include "sim/journal.hh"
 #include "sim/result_codec.hh"
 #include "sim/runner.hh"
@@ -91,6 +98,7 @@ expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
     EXPECT_EQ(a.inlinedFrac, b.inlinedFrac);
     EXPECT_EQ(a.portStallsPerKInst, b.portStallsPerKInst);
     EXPECT_EQ(a.portInlineBypassFrac, b.portInlineBypassFrac);
+    EXPECT_EQ(a.archSig, b.archSig);
     EXPECT_EQ(a.report, b.report);
 }
 
@@ -107,13 +115,13 @@ referenceResults(const std::vector<sim::RunParams> &batch)
 // Codec: the audited serializer shared by journal and store.
 // ---------------------------------------------------------------
 
-/** The PRIJ2 field list is load-bearing for every on-disk cache: a
+/** The PRIJ3 field list is load-bearing for every on-disk cache: a
  *  RunResult change must land here, in the tag bump, and in the
  *  format/parse pair together. If this test fails you changed one
  *  without the others. */
-TEST(ResultCodec, PinsPrij2FieldList)
+TEST(ResultCodec, PinsPrij3FieldList)
 {
-    ASSERT_EQ(sim::codec::kResultFields, 24u);
+    ASSERT_EQ(sim::codec::kResultFields, 25u);
     const std::vector<std::string> want = {
         "tag", "paramsHash", "benchmark", "scheme", "width",
         "cycles", "insts", "committedTotal", "goldenChecked",
@@ -122,30 +130,32 @@ TEST(ResultCodec, PinsPrij2FieldList)
         "lifeLastReadToRelease", "branchMispredictRate",
         "dl1MissRate", "priEarlyFrees", "erEarlyFrees",
         "inlinedFrac", "portStallsPerKInst", "portInlineBypassFrac",
-        "report", "sentinel"};
+        "archSig", "report", "sentinel"};
     ASSERT_EQ(want.size(), sim::codec::kResultFields);
     for (size_t i = 0; i < want.size(); ++i)
         EXPECT_EQ(sim::codec::kResultFieldNames[i], want[i])
-            << "PRIJ2 field " << i;
-    EXPECT_STREQ(sim::codec::kResultTag, "PRIJ2");
+            << "PRIJ3 field " << i;
+    EXPECT_STREQ(sim::codec::kResultTag, "PRIJ3");
 }
 
-/** Same pin for PRIP1: exactly the paramsHash()-audited fields. */
-TEST(ResultCodec, PinsPrip1FieldList)
+/** Same pin for PRIP2: exactly the paramsHash()-audited fields,
+ *  which since the fault framework include the FaultSpec. */
+TEST(ResultCodec, PinsPrip2FieldList)
 {
-    ASSERT_EQ(sim::codec::kParamsFields, 19u);
+    ASSERT_EQ(sim::codec::kParamsFields, 24u);
     const std::vector<std::string> want = {
         "tag", "benchmark", "width", "scheme", "physRegs",
         "warmupInsts", "measureInsts", "seed", "checkGolden",
         "schedSizeOverride", "narrowBitsOverride", "injectFault",
         "injectFreeWithoutInline", "prfReadPorts",
         "pooledCheckpoints", "eventWakeup", "cycleBudget",
-        "tracedFrontEnd", "sentinel"};
+        "tracedFrontEnd", "faultSite", "faultMutation",
+        "faultTrigger", "faultTriggerArg", "faultSeed", "sentinel"};
     ASSERT_EQ(want.size(), sim::codec::kParamsFields);
     for (size_t i = 0; i < want.size(); ++i)
         EXPECT_EQ(sim::codec::kParamsFieldNames[i], want[i])
-            << "PRIP1 field " << i;
-    EXPECT_STREQ(sim::codec::kParamsTag, "PRIP1");
+            << "PRIP2 field " << i;
+    EXPECT_STREQ(sim::codec::kParamsTag, "PRIP2");
 }
 
 /** A params line carries the hash-audited fields bit-exactly: the
@@ -157,6 +167,11 @@ TEST(ResultCodec, ParamsLineRoundTripsTheHash)
     batch[1].checkGolden = true;
     batch[2].cycleBudget = 123456;
     batch[3].tracedFrontEnd = false;
+    batch[3].faultSpec.site = faults::FaultSite::MapTable;
+    batch[3].faultSpec.mutation = faults::FaultMutation::StaleValue;
+    batch[3].faultSpec.trigger = faults::FaultTrigger::SeededDraw;
+    batch[3].faultSpec.triggerArg = 9000;
+    batch[3].faultSpec.seed = 0xdecafu;
     for (const auto &p : batch) {
         const std::string line = sim::codec::formatParamsLine(p);
         sim::RunParams parsed;
@@ -167,6 +182,7 @@ TEST(ResultCodec, ParamsLineRoundTripsTheHash)
         EXPECT_EQ(parsed.timeoutMs, 777u);
     }
     sim::RunParams junk;
+    EXPECT_FALSE(sim::codec::parseParamsLine("PRIP2\tgzip", junk));
     EXPECT_FALSE(sim::codec::parseParamsLine("PRIP1\tgzip", junk));
     EXPECT_FALSE(sim::codec::parseParamsLine("", junk));
 }
@@ -273,7 +289,7 @@ TEST(ResultStore, TornWriteRecovery)
         ASSERT_NE(out, nullptr);
         std::fputs("not\ta\tvalid\tline\n", out);
         std::fwrite(contents.data(), 1, contents.size(), out);
-        std::fputs("PRIJ2\t0123", out); // torn mid-key
+        std::fputs("PRIJ3\t0123", out); // torn mid-key
         std::fclose(out);
         ++vandalized;
     }
@@ -520,6 +536,53 @@ TEST(SweepdClient, ConnectFailureReturnsNull)
     EXPECT_EQ(
         SweepdClient::connect(std::string(300, 'x')),
         nullptr);
+}
+
+/** The hung-daemon drill: a socket that accepts connections but
+ *  never replies (the listen backlog completes the handshake; nobody
+ *  ever calls accept or writes a frame). The thin client must not
+ *  block a sweep forever — it degrades within its handshake timeout
+ *  and reports a distinct, actionable per-point error so callers
+ *  fall back to in-process simulation. */
+TEST(SweepdClient, HungDaemonDegradesWithinTimeout)
+{
+    const std::string sock = scratchDir("mute") + ".sock";
+    std::remove(sock.c_str()); // stale socket from a prior run
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(sock.size(), sizeof(addr.sun_path));
+    std::strncpy(addr.sun_path, sock.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 8), 0);
+
+    auto client = SweepdClient::connect(sock, /*timeout_ms=*/200);
+    ASSERT_NE(client, nullptr); // connect itself succeeds
+    const auto batch = smallBatch(1);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = client->submit(batch);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+
+    // Degraded, not wedged: every point fails with the unresponsive
+    // diagnosis, and the wait is bounded by the handshake timeout
+    // (generous margin for a loaded CI box), not a simulation.
+    ASSERT_EQ(out.size(), batch.size());
+    for (const auto &o : out) {
+        EXPECT_FALSE(o.ok());
+        EXPECT_NE(o.error.find("daemon unresponsive"),
+                  std::string::npos)
+            << o.error;
+    }
+    EXPECT_LT(elapsed.count(), 10 * 1000) << "client wedged on a "
+                                             "mute daemon";
+    ::close(lfd);
 }
 
 TEST(SweepDaemon, StatusAndStatsQueries)
